@@ -1,0 +1,36 @@
+"""Benchmark (extension): FedRecAttack against robust-aggregation defenses.
+
+The paper's future-work section names byzantine-robust aggregation (Krum,
+trimmed mean, median) as candidate defenses and argues they fit FR poorly
+because benign gradients already vary enormously across users.  This
+extension experiment measures FedRecAttack against those rules: the robust
+rules reduce the attack but pay for it with recommendation accuracy, because
+they also discard most of the benign signal.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments import BENCH_PROFILE, defense_table
+
+AGGREGATORS = ("sum", "median", "trimmed_mean", "krum", "norm_bounding")
+
+
+def test_defense_aggregators(benchmark, save_result):
+    table = run_once(benchmark, defense_table, BENCH_PROFILE, AGGREGATORS)
+    save_result("ext_defense_aggregators", table.to_text())
+
+    raw = table.raw
+    # Under the paper's plain sum rule the attack is highly effective.
+    assert raw["sum"]["ER@10"] > 0.5
+    # Norm bounding alone does not stop the attack: its uploads already
+    # respect the row-norm budget C.
+    assert raw["norm_bounding"]["ER@10"] > 0.3
+    # The strongly robust rules (median / Krum) do suppress the poisoned
+    # gradient relative to the undefended run...
+    assert min(raw["median"]["ER@10"], raw["krum"]["ER@10"]) < raw["sum"]["ER@10"]
+    # ...but they also hurt the recommender itself: accuracy under median/Krum
+    # does not beat the undefended run.
+    assert raw["median"]["HR@10"] <= raw["sum"]["HR@10"] + 0.05
+    assert raw["krum"]["HR@10"] <= raw["sum"]["HR@10"] + 0.05

@@ -1,0 +1,40 @@
+"""Benchmark (extension): gradient-anomaly detection of the attacks.
+
+Section V-D of the paper argues that upload-level anomaly detection performs
+poorly in federated recommendation because benign gradients already vary
+widely across users.  This extension quantifies that: three detectors
+(overall gradient norm, non-zero-row count, gradient concentration) are run
+over recorded rounds of three attacks.  The kappa/C constraints of
+FedRecAttack are designed precisely to keep its uploads inside the benign
+envelope of the row-count detector.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments import BENCH_PROFILE
+from repro.experiments.tables import detection_table
+
+ATTACKS = ("fedrecattack", "eb", "pipattack")
+
+
+def test_detection_of_attacks(benchmark, save_result):
+    table = run_once(benchmark, detection_table, BENCH_PROFILE, ATTACKS)
+    save_result("ext_detection", table.to_text())
+
+    raw = table.raw
+    for attack in ATTACKS:
+        assert set(raw[attack]) == {"gradient-norm", "nonzero-rows", "target-concentration"}
+        for metrics in raw[attack].values():
+            assert 0.0 <= metrics["precision"] <= 1.0
+            assert 0.0 <= metrics["recall"] <= 1.0
+            assert 0.0 <= metrics["fpr"] <= 1.0
+
+    # FedRecAttack's uploads respect kappa, so a row-count detector calibrated
+    # to normal user activity never catches them.
+    assert raw["fedrecattack"]["nonzero-rows"]["recall"] == 0.0
+    # No detector achieves near-perfect detection of FedRecAttack with a
+    # negligible false-positive rate — the paper's "hard to detect" claim.
+    for metrics in raw["fedrecattack"].values():
+        assert not (metrics["recall"] > 0.95 and metrics["fpr"] < 0.01)

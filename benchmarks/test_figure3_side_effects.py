@@ -1,0 +1,39 @@
+"""Benchmark: regenerate Figure 3 (training loss and HR@10 under attack).
+
+Paper shape: the training-loss and HR@10 curves of the attacked runs (rho in
+{3%, 5%, 10%}) track the clean run closely — the attack's side effects on
+recommendation accuracy are negligible, which is what makes it stealthy.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments import BENCH_PROFILE, figure3_side_effects
+
+RHOS = (0.03, 0.05, 0.10)
+
+
+def test_figure3_side_effects_ml100k(benchmark, save_result):
+    figure = run_once(
+        benchmark, figure3_side_effects, BENCH_PROFILE, "ml-100k", RHOS, 5
+    )
+    save_result("figure3_side_effects_ml100k", figure.to_text())
+
+    labels = figure.labels()
+    assert "None" in labels and len(labels) == 1 + len(RHOS)
+
+    clean = figure.series["None"]
+    # Training converges: the loss drops substantially from the first epoch.
+    assert clean["training_loss"][-1] < 0.7 * clean["training_loss"][0]
+    # HR@10 improves over training in the clean run.
+    assert clean["hr_at_10"][-1] >= clean["hr_at_10"][0]
+
+    clean_final_hr = figure.final_hr_at_10("None")
+    for rho in RHOS:
+        label = f"rho={rho:.0%}"
+        attacked = figure.series[label]
+        # The attacked loss curve stays in the same regime as the clean one.
+        assert attacked["training_loss"][-1] < 1.5 * clean["training_loss"][-1] + 1e-9
+        # The final HR@10 under attack stays close to the clean final HR@10.
+        assert figure.final_hr_at_10(label) > clean_final_hr - 0.10

@@ -1,0 +1,31 @@
+"""Benchmark: regenerate Table II (dataset sizes and sparsity)."""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments import BENCH_PROFILE, table2_dataset_sizes
+
+
+def test_table2_dataset_sizes(benchmark, save_result):
+    table = run_once(benchmark, table2_dataset_sizes, BENCH_PROFILE)
+    save_result("table2_dataset_sizes", table.to_text())
+
+    raw = table.raw
+    # All three datasets are present with plausible statistics.
+    assert set(raw) == {"ml-100k", "ml-1m", "steam-200k"}
+    for stats in raw.values():
+        assert stats["num_users"] > 0
+        assert stats["num_items"] > 0
+        assert 0.0 < stats["sparsity"] < 1.0
+
+    # Shape of Table II: Steam is the sparsest dataset, MovieLens-1M has the
+    # highest per-user activity, MovieLens-100K the smallest user base.
+    assert raw["steam-200k"]["sparsity"] > raw["ml-100k"]["sparsity"]
+    assert raw["steam-200k"]["sparsity"] > raw["ml-1m"]["sparsity"]
+    assert (
+        raw["ml-1m"]["avg_interactions_per_user"]
+        > raw["ml-100k"]["avg_interactions_per_user"]
+        > raw["steam-200k"]["avg_interactions_per_user"]
+    )
+    assert raw["ml-100k"]["num_users"] <= raw["steam-200k"]["num_users"]

@@ -1,0 +1,31 @@
+"""Benchmark: regenerate Table IV (impact of the malicious-user proportion rho).
+
+Paper shape: the attack is ineffective at rho = 1-2%, rises steeply around
+3-5% and saturates afterwards — rho is the key cost factor.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments import BENCH_PROFILE, table4_rho_sweep
+
+RHOS = (0.01, 0.02, 0.03, 0.05, 0.10)
+
+
+def test_table4_rho_sweep(benchmark, save_result):
+    table = run_once(benchmark, table4_rho_sweep, BENCH_PROFILE, RHOS)
+    save_result("table4_rho_sweep", table.to_text())
+
+    er10 = {rho: table.raw[f"rho={rho}"]["ER@10"] for rho in RHOS}
+
+    # Tiny malicious cohorts achieve (almost) nothing.
+    assert er10[0.01] < 0.2
+    # By rho = 5% the attack is highly effective, and it stays effective at 10%.
+    assert er10[0.05] > 0.6
+    assert er10[0.10] > 0.6
+    # The effectiveness is (weakly) monotone in rho up to saturation.
+    assert er10[0.05] >= er10[0.01]
+    assert er10[0.10] >= er10[0.02]
+    # The steep rise: the gap between 1% and 5% dominates the gap between 5% and 10%.
+    assert er10[0.05] - er10[0.01] > abs(er10[0.10] - er10[0.05])

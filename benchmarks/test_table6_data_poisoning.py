@@ -1,0 +1,31 @@
+"""Benchmark: regenerate Table VI (FedRecAttack vs data-poisoning attacks).
+
+Paper shape: the full-knowledge data-poisoning baselines P1 and P2 stay at
+near-zero ER@10 in the federated setting at every malicious-user proportion,
+while FedRecAttack jumps to a high level once rho reaches a few percent.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments import BENCH_PROFILE, table6_data_poisoning
+
+RHOS = (0.005, 0.01, 0.03, 0.05)
+
+
+def test_table6_data_poisoning(benchmark, save_result):
+    table = run_once(benchmark, table6_data_poisoning, BENCH_PROFILE, RHOS)
+    save_result("table6_data_poisoning", table.to_text())
+
+    raw = table.raw
+    # The clean rows stay at zero.
+    assert all(value < 0.05 for value in raw["none"].values())
+    # P1 / P2 never reach a satisfactory exposure level.
+    assert max(raw["p1"].values()) < 0.3
+    assert max(raw["p2"].values()) < 0.3
+    # FedRecAttack overtakes both by a wide margin at the largest rho.
+    assert raw["fedrecattack"]["rho=0.05"] > 0.5
+    assert raw["fedrecattack"]["rho=0.05"] > max(raw["p1"]["rho=0.05"], raw["p2"]["rho=0.05"]) + 0.3
+    # At the tiny rho = 0.5% no attack achieves anything notable.
+    assert raw["fedrecattack"]["rho=0.005"] < 0.3

@@ -1,0 +1,42 @@
+"""Benchmark: regenerate Table VIII (model-poisoning attacks on MovieLens-1M).
+
+Paper shape: among the model-poisoning attacks, FedRecAttack is the only one
+that keeps recommendation accuracy essentially intact (HR@10 within a few
+percent of the clean run) while staying highly effective; the other attacks
+either fluctuate in effectiveness or noticeably damage HR@10.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments import BENCH_PROFILE, table8_model_poisoning
+
+ATTACKS = ("none", "p3", "p4", "eb", "pipattack", "fedrecattack")
+RHOS = (0.10, 0.20, 0.30, 0.40)
+
+
+def test_table8_model_poisoning(benchmark, save_result):
+    table = run_once(benchmark, table8_model_poisoning, BENCH_PROFILE, ATTACKS, RHOS)
+    save_result("table8_model_poisoning", table.to_text())
+
+    raw = table.raw
+    clean_hr = raw["none"]["rho=0.1"]["HR@10"]
+
+    # The clean run has zero target exposure and a meaningfully trained model.
+    assert raw["none"]["rho=0.1"]["ER@5"] < 0.05
+    assert clean_hr > 0.3
+
+    # FedRecAttack: high effectiveness, negligible accuracy damage at every rho.
+    for rho in RHOS:
+        key = f"rho={rho}"
+        assert raw["fedrecattack"][key]["ER@5"] > 0.5
+        assert raw["fedrecattack"][key]["HR@10"] > clean_hr - 0.10
+
+    # FedRecAttack preserves accuracy at least as well as every other attack
+    # (averaged over the rho grid) — the paper's stealthiness claim.
+    def mean_hr(attack):
+        return sum(raw[attack][f"rho={rho}"]["HR@10"] for rho in RHOS) / len(RHOS)
+
+    for attack in ("p3", "p4", "eb", "pipattack"):
+        assert mean_hr("fedrecattack") >= mean_hr(attack) - 0.02

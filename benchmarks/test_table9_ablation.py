@@ -1,0 +1,30 @@
+"""Benchmark: regenerate Table IX (ablation of the public interactions).
+
+Paper shape: with xi = 1% FedRecAttack is highly effective on every dataset;
+with xi = 0% (no public interactions, hence no way to approximate the user
+matrix) it collapses to zero everywhere.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments import BENCH_PROFILE, table9_ablation
+
+DATASETS = ("ml-100k", "ml-1m", "steam-200k")
+
+
+def test_table9_ablation(benchmark, save_result):
+    table = run_once(benchmark, table9_ablation, BENCH_PROFILE, DATASETS, (0.01, 0.0))
+    save_result("table9_ablation", table.to_text())
+
+    raw = table.raw
+    for dataset in DATASETS:
+        with_public = raw[dataset]["xi=0.01"]
+        without_public = raw[dataset]["xi=0.0"]
+        # The attack collapses completely without the attacker's prior knowledge.
+        assert without_public["ER@5"] < 0.05
+        assert without_public["ER@10"] < 0.05
+        # And is highly effective with just 1% of interactions public.
+        assert with_public["ER@10"] > 0.5
+        assert with_public["ER@10"] > without_public["ER@10"] + 0.4

@@ -1,0 +1,126 @@
+"""Build the federated pipeline by hand — the lower-level API.
+
+The experiment runner hides the plumbing; this example assembles every piece
+explicitly so the data flow of the paper is visible:
+
+1. load / synthesise the dataset and make the leave-one-out split,
+2. expose a fraction ``xi`` of the training interactions to the attacker,
+3. pick unpopular target items,
+4. build FedRecAttack with its own configuration,
+5. run the federated simulation with malicious clients injected,
+6. evaluate exposure and accuracy, and inspect the per-epoch history.
+
+It also shows how to observe the gradient uploads of every round — which is
+how the defense experiments hook in their detectors.
+
+Run with::
+
+    python examples/custom_federated_pipeline.py
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.attacks import FedRecAttack, FedRecAttackConfig, select_target_items
+from repro.data import load_dataset, leave_one_out_split, sample_public_interactions
+from repro.defenses import GradientNormDetector, evaluate_detector
+from repro.federated import FederatedConfig, FederatedSimulation
+from repro.rng import SeedSequenceFactory
+
+
+def main() -> None:
+    seeds = SeedSequenceFactory(2024)
+
+    # 1. Dataset and leave-one-out split ---------------------------------
+    dataset = load_dataset("ml-100k-mini", rng=seeds.generator("dataset"))
+    split = leave_one_out_split(dataset, rng=seeds.generator("split"))
+    print(f"dataset: {dataset}")
+
+    # 2. The attacker's prior knowledge: 1% of interactions are public ----
+    public = sample_public_interactions(split.train, xi=0.01, rng=seeds.generator("public"))
+    covered = public.users_with_public_interactions().shape[0]
+    print(
+        f"public interactions: {public.num_interactions} "
+        f"({covered}/{dataset.num_users} users have at least one)"
+    )
+
+    # 3. Target items: unpopular (cold) items, so ER starts at zero -------
+    targets = select_target_items(split.train, count=1, strategy="unpopular",
+                                  rng=seeds.generator("targets"))
+    print(f"target items: {targets.tolist()}")
+
+    # 4. The attack and the federated protocol configuration --------------
+    attack = FedRecAttack(
+        public,
+        FedRecAttackConfig(kappa=60, step_size=1.0, top_k=10),
+    )
+    federated_config = FederatedConfig(
+        num_factors=16,
+        learning_rate=0.03,
+        clients_per_round=64,
+        num_epochs=30,
+        clip_norm=1.0,
+        noise_scale=0.0,       # set mu > 0 to add the DP noise of Eq. (5)
+        aggregator="sum",      # the paper's aggregation rule (Eq. 7)
+    )
+
+    # 5. Simulation with 5% malicious clients, observing every round ------
+    rho = 0.05
+    num_malicious = max(1, math.ceil(rho * split.train.num_users))
+    observed_rounds: list[list] = []
+    simulation = FederatedSimulation(
+        train=split.train,
+        config=federated_config,
+        test_items=split.test_items,
+        target_items=targets,
+        attack=attack,
+        num_malicious=num_malicious,
+        seed=seeds.child("simulation"),
+        evaluate_every=10,
+        eval_num_negatives=49,
+        update_observer=lambda _, updates: observed_rounds.append(list(updates)),
+    )
+    print(f"training with {num_malicious} malicious clients ...")
+    result = simulation.run()
+
+    # 6. Results -----------------------------------------------------------
+    print()
+    for record in result.history.records:
+        line = f"epoch {record.epoch:>3}  loss {record.training_loss:10.2f}"
+        if record.accuracy is not None:
+            line += f"  HR@10 {record.accuracy.hr_at_10:.4f}"
+        if record.exposure is not None:
+            line += f"  ER@10 {record.exposure.er_at_10:.4f}"
+        print(line)
+
+    print()
+    print(f"final ER@5  = {result.exposure.er_at_5:.4f}")
+    print(f"final ER@10 = {result.exposure.er_at_10:.4f}")
+    print(f"final HR@10 = {result.accuracy.hr_at_10:.4f}")
+
+    # Can a simple gradient-norm detector spot the poisoned uploads?
+    report = evaluate_detector(GradientNormDetector(threshold=3.5), observed_rounds)
+    print()
+    print(
+        "gradient-norm detector: "
+        f"recall {report.recall:.2f}, precision {report.precision:.2f}, "
+        f"false-positive rate {report.false_positive_rate:.3f}"
+    )
+    norms = [
+        float(np.linalg.norm(update.item_gradients))
+        for round_updates in observed_rounds
+        for update in round_updates
+        if not update.is_malicious
+    ]
+    print(
+        f"benign upload norms vary widely (p5={np.percentile(norms, 5):.3f}, "
+        f"p95={np.percentile(norms, 95):.3f}), which is why the paper argues "
+        "anomaly detection is hard in federated recommendation."
+    )
+
+
+if __name__ == "__main__":
+    main()

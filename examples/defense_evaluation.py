@@ -1,0 +1,76 @@
+"""Evaluate FedRecAttack against byzantine-robust aggregation defenses.
+
+The paper's future-work section suggests robust aggregation (Krum, trimmed
+mean, median) as a defense direction but notes that the huge variance of
+benign gradients in federated recommendation makes such defenses awkward.
+This example quantifies that trade-off: for each aggregation rule it reports
+the attack's final exposure ratio (lower = better defense) and the
+recommender's HR@10 (higher = less collateral damage).
+
+Run with::
+
+    python examples/defense_evaluation.py
+"""
+
+from __future__ import annotations
+
+from repro import ExperimentConfig, run_experiment
+from repro.experiments.reporting import format_table
+
+AGGREGATORS = [
+    ("sum", {}, "paper's rule (Eq. 7), no defense"),
+    ("norm_bounding", {"max_row_norm": 1.0}, "clip every uploaded row to norm 1"),
+    ("trimmed_mean", {"trim_ratio": 0.1}, "drop the 10% extremes per coordinate"),
+    ("median", {}, "coordinate-wise median"),
+    ("krum", {"num_malicious": 4}, "select the most central update"),
+]
+
+
+def main() -> None:
+    base = ExperimentConfig(
+        dataset="ml-100k-mini",
+        attack="fedrecattack",
+        xi=0.01,
+        rho=0.05,
+        num_factors=16,
+        learning_rate=0.03,
+        num_epochs=30,
+        clients_per_round=64,
+        eval_num_negatives=49,
+        seed=0,
+    )
+
+    rows = []
+    for name, options, description in AGGREGATORS:
+        print(f"Running FedRecAttack against aggregator '{name}' ...")
+        result = run_experiment(
+            base.with_overrides(aggregator=name, aggregator_options=options)
+        )
+        rows.append(
+            [
+                name,
+                f"{result.er_at_10:.4f}",
+                f"{result.hr_at_10:.4f}",
+                description,
+            ]
+        )
+
+    print()
+    print(
+        format_table(
+            ["Aggregator", "ER@10 (attack)", "HR@10 (utility)", "Notes"],
+            rows,
+            title="FedRecAttack vs robust aggregation (ml-100k-mini, rho=5%, xi=1%)",
+        )
+    )
+    print()
+    print(
+        "Robust rules can blunt the poisoned gradient, but they filter benign "
+        "gradients just as aggressively — in federated recommendation each "
+        "user's update touches a different subset of items, so 'outlier' and "
+        "'ordinary user' are hard to tell apart (the paper's closing point)."
+    )
+
+
+if __name__ == "__main__":
+    main()

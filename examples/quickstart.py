@@ -1,0 +1,55 @@
+"""Quickstart: run FedRecAttack against a federated recommender in ~10 seconds.
+
+This example uses the highest-level API: an :class:`ExperimentConfig` run by
+:func:`run_experiment`.  It trains a small federated matrix-factorization
+recommender twice — once clean and once under FedRecAttack — and prints the
+exposure ratio of the target items (attack effectiveness) and HR@10
+(recommendation accuracy, i.e. the attack's side effects).
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro import ExperimentConfig, run_experiment
+
+
+def main() -> None:
+    base = ExperimentConfig(
+        dataset="ml-100k-mini",   # calibrated miniature of MovieLens-100K
+        xi=0.01,                  # 1% of interactions are public (attacker's knowledge)
+        rho=0.05,                 # 5% of users are malicious
+        kappa=60,                 # at most 60 non-zero gradient rows per upload
+        clip_norm=1.0,            # per-row L2 bound C
+        num_factors=16,
+        learning_rate=0.03,
+        num_epochs=30,
+        clients_per_round=64,
+        eval_num_negatives=49,
+        seed=0,
+    )
+
+    print("Training the clean federated recommender (no attack)...")
+    clean = run_experiment(base.with_overrides(attack="none", rho=0.0))
+
+    print("Training the same system under FedRecAttack...")
+    attacked = run_experiment(base.with_overrides(attack="fedrecattack"))
+
+    print()
+    print(f"{'':24}{'clean':>10}{'FedRecAttack':>14}")
+    print(f"{'ER@5  (target items)':24}{clean.er_at_5:>10.4f}{attacked.er_at_5:>14.4f}")
+    print(f"{'ER@10 (target items)':24}{clean.er_at_10:>10.4f}{attacked.er_at_10:>14.4f}")
+    print(f"{'NDCG@10 (targets)':24}{clean.target_ndcg_at_10:>10.4f}{attacked.target_ndcg_at_10:>14.4f}")
+    print(f"{'HR@10 (accuracy)':24}{clean.hr_at_10:>10.4f}{attacked.hr_at_10:>14.4f}")
+    print()
+    print(
+        "The attack pushes the target items into most users' top-10 lists "
+        "(ER@10 close to 1) while HR@10 barely moves — the side effects are "
+        "negligible, which is what makes the attack stealthy."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,73 @@
+"""Sweep the attacker's prior knowledge: how much public data does the attack need?
+
+This example reproduces, at miniature scale, the two knowledge-related
+analyses of the paper in one script:
+
+* the ``xi`` sweep of Table III (public-interaction proportion), including
+  the ``xi = 0`` ablation of Table IX, and
+* the ``rho`` sweep of Table IV (malicious-user proportion).
+
+It prints both sweeps and the headline observation: the attack needs only a
+sliver of public data, but it needs *some*; and the malicious-user proportion
+is the factor that really buys effectiveness.
+
+Run with::
+
+    python examples/sweep_public_knowledge.py
+"""
+
+from __future__ import annotations
+
+from repro import ExperimentConfig, run_experiment
+from repro.experiments.reporting import format_table
+
+
+def main() -> None:
+    base = ExperimentConfig(
+        dataset="ml-100k-mini",
+        attack="fedrecattack",
+        num_factors=16,
+        learning_rate=0.03,
+        num_epochs=30,
+        clients_per_round=64,
+        eval_num_negatives=49,
+        seed=0,
+    )
+
+    xi_values = [0.0, 0.01, 0.02, 0.05, 0.10]
+    xi_rows = []
+    for xi in xi_values:
+        result = run_experiment(base.with_overrides(xi=xi, rho=0.05))
+        xi_rows.append([f"{xi:.0%}", f"{result.er_at_5:.4f}", f"{result.er_at_10:.4f}",
+                        f"{result.hr_at_10:.4f}"])
+        print(f"xi={xi:<5} done (ER@10={result.er_at_10:.4f})")
+
+    rho_values = [0.01, 0.03, 0.05, 0.10]
+    rho_rows = []
+    for rho in rho_values:
+        result = run_experiment(base.with_overrides(xi=0.01, rho=rho))
+        rho_rows.append([f"{rho:.0%}", f"{result.er_at_5:.4f}", f"{result.er_at_10:.4f}",
+                         f"{result.hr_at_10:.4f}"])
+        print(f"rho={rho:<5} done (ER@10={result.er_at_10:.4f})")
+
+    print()
+    print(format_table(
+        ["xi (public)", "ER@5", "ER@10", "HR@10"], xi_rows,
+        title="Impact of the public-interaction proportion (rho fixed at 5%)",
+    ))
+    print()
+    print(format_table(
+        ["rho (malicious)", "ER@5", "ER@10", "HR@10"], rho_rows,
+        title="Impact of the malicious-user proportion (xi fixed at 1%)",
+    ))
+    print()
+    print(
+        "With xi = 0 the attacker cannot approximate the user matrix and the "
+        "attack collapses; from xi = 1% upwards extra public data adds little. "
+        "The malicious-user proportion, in contrast, gates the attack: it is "
+        "near-useless at 1% and saturates around 5-10%."
+    )
+
+
+if __name__ == "__main__":
+    main()

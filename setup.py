@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+The project is configured through ``pyproject.toml``; this file exists only so
+that legacy (non-PEP-517) editable installs work in offline environments where
+the ``wheel`` package is unavailable.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,128 @@
+"""User feature-matrix approximation from public interactions.
+
+The private user matrix ``U`` is the attacker's missing piece.  Eq. (19) of
+the paper approximates it by minimising the recommender's own BPR loss over
+the *public* interactions ``D'`` while keeping the shared item matrix ``V``
+fixed:
+
+    U^t  ~=  argmin_U  L_rec(U, V^t, Theta^t; D')
+
+:class:`UserMatrixApproximator` performs that optimisation with SGD.  Only
+users that have at least one public interaction are updated — for the others
+no gradient exists, so their approximated vectors stay at their random
+initialisation and contribute (essentially) nothing to the attack loss, which
+matches the ablation result that the attack collapses at ``xi = 0``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.public import PublicInteractions
+from repro.exceptions import AttackError
+from repro.models.losses import bpr_loss_and_gradients
+from repro.rng import ensure_rng
+
+__all__ = ["UserMatrixApproximator"]
+
+
+class UserMatrixApproximator:
+    """SGD approximation of the private user matrix from public interactions.
+
+    Parameters
+    ----------
+    public:
+        The attacker's public interactions ``D'``.
+    num_factors:
+        Feature dimensionality ``k`` of the shared model.
+    learning_rate:
+        SGD learning rate of the inner approximation problem.
+    l2_reg:
+        L2 regularisation on the approximated vectors (keeps them bounded
+        when a user has a single public interaction).
+    init_scale:
+        Scale of the random initialisation.
+    rng:
+        Attack-private randomness.
+    """
+
+    def __init__(
+        self,
+        public: PublicInteractions,
+        num_factors: int,
+        learning_rate: float = 0.05,
+        l2_reg: float = 1e-4,
+        init_scale: float = 0.01,
+        rng: np.random.Generator | int | None = None,
+    ) -> None:
+        if num_factors <= 0:
+            raise AttackError("num_factors must be positive")
+        if learning_rate <= 0:
+            raise AttackError("learning_rate must be positive")
+        self.public = public
+        self.num_factors = int(num_factors)
+        self.learning_rate = float(learning_rate)
+        self.l2_reg = float(l2_reg)
+        self._rng = ensure_rng(rng)
+        num_users = public.dataset.num_users
+        self.user_factors = self._rng.normal(0.0, init_scale, size=(num_users, num_factors))
+        self._active_users = public.users_with_public_interactions()
+        self._num_items = public.dataset.num_items
+
+    @property
+    def active_users(self) -> np.ndarray:
+        """Users the attacker can actually approximate (>= 1 public interaction)."""
+        return self._active_users
+
+    def refresh(self, item_factors: np.ndarray, epochs: int = 1) -> None:
+        """Run ``epochs`` SGD passes of Eq. (19) against the current ``V``.
+
+        The approximator keeps its state between calls, so each round's
+        refresh warm-starts from the previous round's estimate — the same
+        behaviour as re-running the inner optimisation to (near) convergence
+        but far cheaper.
+        """
+        if item_factors.shape != (self._num_items, self.num_factors):
+            raise AttackError(
+                f"item_factors must have shape ({self._num_items}, {self.num_factors}), "
+                f"got {item_factors.shape}"
+            )
+        if epochs <= 0:
+            return
+        for _ in range(epochs):
+            for user in self._active_users:
+                self._update_user(int(user), item_factors)
+
+    def _update_user(self, user: int, item_factors: np.ndarray) -> None:
+        positives = self.public.positive_items(user)
+        if positives.shape[0] == 0:
+            return
+        negatives = self._sample_negatives(positives, positives.shape[0])
+        if negatives.shape[0] < positives.shape[0]:
+            positives = positives[: negatives.shape[0]]
+        gradients = bpr_loss_and_gradients(
+            self.user_factors[user], item_factors, positives, negatives, l2_reg=self.l2_reg
+        )
+        self.user_factors[user] = (
+            self.user_factors[user] - self.learning_rate * gradients.grad_user
+        )
+
+    def _sample_negatives(self, positives: np.ndarray, count: int) -> np.ndarray:
+        mask = np.zeros(self._num_items, dtype=bool)
+        mask[positives] = True
+        available = self._num_items - positives.shape[0]
+        count = min(count, available)
+        if count <= 0:
+            return np.empty(0, dtype=np.int64)
+        negatives: list[int] = []
+        seen: set[int] = set()
+        while len(negatives) < count:
+            draws = self._rng.integers(0, self._num_items, size=2 * (count - len(negatives)) + 1)
+            for item in draws:
+                item = int(item)
+                if not mask[item] and item not in seen:
+                    seen.add(item)
+                    negatives.append(item)
+                    if len(negatives) == count:
+                        break
+        return np.array(negatives, dtype=np.int64)

@@ -1,0 +1,101 @@
+"""Shilling-style baseline attacks: Random, Bandwagon and Popular.
+
+These are the classical data-poisoning baselines of Section V-A.  Each
+malicious client receives a fake interaction profile containing the target
+items plus filler items and then trains *honestly* on that profile, so the
+poisoning happens purely through the injected data:
+
+* **Random**: fillers chosen uniformly at random.
+* **Bandwagon**: 10% of fillers drawn from the popular items (top 10% by
+  interaction count), the rest uniformly from the remaining items.
+* **Popular**: fillers are exactly the most popular items.
+
+Bandwagon and Popular require the item-popularity side information carried by
+the attack context (the same assumption the paper grants these baselines).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.attacks.base import AttackContext, ProfileInjectionAttack
+from repro.exceptions import AttackError
+
+__all__ = ["RandomAttack", "BandwagonAttack", "PopularAttack"]
+
+
+class RandomAttack(ProfileInjectionAttack):
+    """Fake profiles with uniformly random filler items."""
+
+    name = "Random"
+
+    def select_filler_items(self, count: int, context: AttackContext) -> np.ndarray:
+        if count <= 0:
+            return np.empty(0, dtype=np.int64)
+        pool = np.setdiff1d(np.arange(context.num_items), context.target_items)
+        count = min(count, pool.shape[0])
+        return context.rng.choice(pool, size=count, replace=False)
+
+
+class BandwagonAttack(ProfileInjectionAttack):
+    """Fake profiles mixing popular and random filler items (90/10 split)."""
+
+    name = "Bandwagon"
+
+    def __init__(self, kappa: int = 60, popular_fraction: float = 0.1) -> None:
+        super().__init__(kappa)
+        if not 0.0 <= popular_fraction <= 1.0:
+            raise AttackError("popular_fraction must be in [0, 1]")
+        self.popular_fraction = float(popular_fraction)
+
+    def select_filler_items(self, count: int, context: AttackContext) -> np.ndarray:
+        if count <= 0:
+            return np.empty(0, dtype=np.int64)
+        popularity = self._popularity(context)
+        popular_pool = self._popular_pool(popularity, context)
+        popular_count = min(int(round(count * self.popular_fraction)), popular_pool.shape[0])
+        popular_pick = (
+            context.rng.choice(popular_pool, size=popular_count, replace=False)
+            if popular_count > 0
+            else np.empty(0, dtype=np.int64)
+        )
+        remaining_pool = np.setdiff1d(
+            np.arange(context.num_items),
+            np.concatenate([context.target_items, popular_pick]),
+        )
+        rest_count = min(count - popular_count, remaining_pool.shape[0])
+        rest_pick = (
+            context.rng.choice(remaining_pool, size=rest_count, replace=False)
+            if rest_count > 0
+            else np.empty(0, dtype=np.int64)
+        )
+        return np.concatenate([popular_pick, rest_pick])
+
+    @staticmethod
+    def _popularity(context: AttackContext) -> np.ndarray:
+        if context.item_popularity is None:
+            raise AttackError("BandwagonAttack requires item popularity side information")
+        return np.asarray(context.item_popularity, dtype=np.int64)
+
+    @staticmethod
+    def _popular_pool(popularity: np.ndarray, context: AttackContext) -> np.ndarray:
+        top_count = max(1, int(round(0.1 * context.num_items)))
+        order = np.argsort(-popularity, kind="stable")
+        pool = order[:top_count]
+        return np.setdiff1d(pool, context.target_items)
+
+
+class PopularAttack(ProfileInjectionAttack):
+    """Fake profiles whose fillers are the globally most popular items."""
+
+    name = "Popular"
+
+    def select_filler_items(self, count: int, context: AttackContext) -> np.ndarray:
+        if count <= 0:
+            return np.empty(0, dtype=np.int64)
+        if context.item_popularity is None:
+            raise AttackError("PopularAttack requires item popularity side information")
+        popularity = np.asarray(context.item_popularity, dtype=np.int64)
+        order = np.argsort(-popularity, kind="stable")
+        fillers = [item for item in order if item not in set(context.target_items.tolist())]
+        return np.array(fillers[:count], dtype=np.int64)

@@ -1,0 +1,54 @@
+"""Target-item selection strategies.
+
+The attacker's goal is to promote a fixed set of target items ``V^tar``.
+Poisoning papers conventionally pick *unpopular* (cold) items so that the
+pre-attack exposure ratio is zero and the measured effect is entirely due to
+the attack; a random strategy is provided for robustness studies.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.dataset import InteractionDataset
+from repro.exceptions import AttackError
+from repro.rng import ensure_rng
+
+__all__ = ["select_target_items"]
+
+
+def select_target_items(
+    train: InteractionDataset,
+    count: int = 1,
+    strategy: str = "unpopular",
+    rng: np.random.Generator | int | None = None,
+) -> np.ndarray:
+    """Choose ``count`` target items from ``train`` using ``strategy``.
+
+    Strategies
+    ----------
+    ``"unpopular"``:
+        Sample among the items with the fewest interactions (cold items), the
+        conventional choice that makes ER@K start at zero.
+    ``"random"``:
+        Uniform over the whole catalogue.
+    ``"popular"``:
+        The most-interacted items (an easier promotion goal, used for
+        sanity-check experiments).
+    """
+    if count <= 0:
+        raise AttackError("count must be positive")
+    if count > train.num_items:
+        raise AttackError("cannot select more targets than items")
+    generator = ensure_rng(rng)
+    popularity = train.item_popularity
+    if strategy == "unpopular":
+        order = np.argsort(popularity, kind="stable")
+        pool = order[: max(count, train.num_items // 10)]
+        return np.sort(generator.choice(pool, size=count, replace=False))
+    if strategy == "random":
+        return np.sort(generator.choice(train.num_items, size=count, replace=False))
+    if strategy == "popular":
+        order = np.argsort(-popularity, kind="stable")
+        return np.sort(order[:count].astype(np.int64))
+    raise AttackError(f"unknown target selection strategy {strategy!r}")

@@ -1,0 +1,155 @@
+"""Command-line interface.
+
+Three sub-commands are provided:
+
+``run``
+    Run a single experiment (dataset + attack + knobs) and print the final
+    exposure and accuracy metrics.
+``table``
+    Regenerate one of the paper's tables (2-9, or ``defense`` for the
+    robust-aggregation extension) and print it.
+``figure``
+    Regenerate the Figure 3 series and print a text summary.
+
+Examples
+--------
+::
+
+    fedrecattack run --dataset ml-100k --attack fedrecattack --rho 0.05 --scale 0.1
+    fedrecattack table 7 --profile bench
+    fedrecattack figure 3 --dataset steam-200k
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Sequence
+
+from repro.experiments.config import BENCH_PROFILE, PAPER_PROFILE, ExperimentConfig, ExperimentProfile
+from repro.experiments.figures import figure3_side_effects
+from repro.experiments.registry import available_attacks
+from repro.experiments.runner import run_experiment
+from repro.experiments.tables import (
+    defense_table,
+    table2_dataset_sizes,
+    table3_xi_sweep,
+    table4_rho_sweep,
+    table5_kappa_sweep,
+    table6_data_poisoning,
+    table7_effectiveness,
+    table8_model_poisoning,
+    table9_ablation,
+)
+
+__all__ = ["main", "build_parser"]
+
+_TABLES: dict[str, Callable[[ExperimentProfile], object]] = {
+    "2": table2_dataset_sizes,
+    "3": table3_xi_sweep,
+    "4": table4_rho_sweep,
+    "5": table5_kappa_sweep,
+    "6": table6_data_poisoning,
+    "7": table7_effectiveness,
+    "8": table8_model_poisoning,
+    "9": table9_ablation,
+    "defense": defense_table,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="fedrecattack",
+        description="Reproduction of FedRecAttack (ICDE 2022): run attacks, tables and figures.",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    run_parser = subparsers.add_parser("run", help="run a single experiment")
+    run_parser.add_argument("--dataset", default="ml-100k", help="ml-100k, ml-1m or steam-200k")
+    run_parser.add_argument("--attack", default="fedrecattack", choices=available_attacks())
+    run_parser.add_argument("--scale", type=float, default=0.1, help="dataset down-scaling factor")
+    run_parser.add_argument("--xi", type=float, default=0.01, help="public interaction proportion")
+    run_parser.add_argument("--rho", type=float, default=0.05, help="malicious user proportion")
+    run_parser.add_argument("--kappa", type=int, default=60, help="max non-zero gradient rows")
+    run_parser.add_argument("--epochs", type=int, default=30, help="training epochs")
+    run_parser.add_argument("--factors", type=int, default=16, help="embedding dimension k")
+    run_parser.add_argument("--clients-per-round", type=int, default=64)
+    run_parser.add_argument("--targets", type=int, default=1, help="number of target items")
+    run_parser.add_argument("--seed", type=int, default=0)
+    run_parser.add_argument("--data-dir", default=None, help="directory with the real dataset files")
+
+    table_parser = subparsers.add_parser("table", help="regenerate one of the paper's tables")
+    table_parser.add_argument("table", choices=sorted(_TABLES), help="table number or 'defense'")
+    table_parser.add_argument("--profile", choices=("bench", "paper"), default="bench")
+
+    figure_parser = subparsers.add_parser("figure", help="regenerate Figure 3 series")
+    figure_parser.add_argument("figure", choices=("3",), help="figure number")
+    figure_parser.add_argument("--dataset", default="ml-100k")
+    figure_parser.add_argument("--profile", choices=("bench", "paper"), default="bench")
+
+    return parser
+
+
+def _profile_from_name(name: str) -> ExperimentProfile:
+    return PAPER_PROFILE if name == "paper" else BENCH_PROFILE
+
+
+def _command_run(args: argparse.Namespace) -> int:
+    config = ExperimentConfig(
+        dataset=args.dataset,
+        scale=args.scale,
+        data_dir=args.data_dir,
+        attack=args.attack,
+        xi=args.xi,
+        rho=0.0 if args.attack == "none" else args.rho,
+        kappa=args.kappa,
+        num_target_items=args.targets,
+        num_factors=args.factors,
+        num_epochs=args.epochs,
+        clients_per_round=args.clients_per_round,
+        seed=args.seed,
+    )
+    result = run_experiment(config)
+    print(f"dataset={args.dataset} attack={args.attack} rho={config.rho} xi={config.xi}")
+    print(f"  malicious clients: {result.num_malicious}")
+    print(f"  target items:      {result.target_items.tolist()}")
+    if result.exposure is not None:
+        print(f"  ER@5:    {result.er_at_5:.4f}")
+        print(f"  ER@10:   {result.er_at_10:.4f}")
+        print(f"  NDCG@10: {result.target_ndcg_at_10:.4f}")
+    if result.accuracy is not None:
+        print(f"  HR@10:   {result.hr_at_10:.4f}")
+    return 0
+
+
+def _command_table(args: argparse.Namespace) -> int:
+    profile = _profile_from_name(args.profile)
+    table = _TABLES[args.table](profile)
+    print(table)
+    return 0
+
+
+def _command_figure(args: argparse.Namespace) -> int:
+    profile = _profile_from_name(args.profile)
+    figure = figure3_side_effects(profile, dataset=args.dataset)
+    print(figure)
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.command == "run":
+        return _command_run(args)
+    if args.command == "table":
+        return _command_table(args)
+    if args.command == "figure":
+        return _command_figure(args)
+    parser.error(f"unknown command {args.command!r}")
+    return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,83 @@
+"""Dataset statistics — reproduces Table II of the paper.
+
+Table II reports, for each dataset, the number of users, items and
+interactions, the average number of interactions per user, and the sparsity
+of the interaction matrix.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.data.dataset import InteractionDataset
+
+__all__ = ["DatasetStatistics", "compute_statistics", "statistics_table"]
+
+
+@dataclass(frozen=True)
+class DatasetStatistics:
+    """One row of Table II."""
+
+    name: str
+    num_users: int
+    num_items: int
+    num_interactions: int
+    average_interactions_per_user: float
+    sparsity: float
+
+    def as_row(self) -> list[str]:
+        """Format the statistics as the strings of a table row."""
+        return [
+            self.name,
+            f"{self.num_users:,}",
+            f"{self.num_items:,}",
+            f"{self.num_interactions:,}",
+            f"{self.average_interactions_per_user:.0f}",
+            f"{self.sparsity * 100:.2f}%",
+        ]
+
+
+def compute_statistics(dataset: InteractionDataset) -> DatasetStatistics:
+    """Compute the Table II statistics for ``dataset``."""
+    return DatasetStatistics(
+        name=dataset.name,
+        num_users=dataset.num_users,
+        num_items=dataset.num_items,
+        num_interactions=dataset.num_interactions,
+        average_interactions_per_user=dataset.average_interactions_per_user,
+        sparsity=dataset.sparsity,
+    )
+
+
+def statistics_table(datasets: list[InteractionDataset]) -> str:
+    """Render Table II for the given datasets as fixed-width text."""
+    header = ["Dataset", "#users", "#items", "#interactions", "Avg.", "Sparsity"]
+    rows = [compute_statistics(dataset).as_row() for dataset in datasets]
+    widths = [
+        max(len(header[col]), *(len(row[col]) for row in rows)) if rows else len(header[col])
+        for col in range(len(header))
+    ]
+    lines = [
+        "  ".join(header[col].ljust(widths[col]) for col in range(len(header))),
+        "  ".join("-" * widths[col] for col in range(len(header))),
+    ]
+    for row in rows:
+        lines.append("  ".join(row[col].ljust(widths[col]) for col in range(len(header))))
+    return "\n".join(lines)
+
+
+def popularity_skew(dataset: InteractionDataset) -> float:
+    """Gini coefficient of the item-popularity distribution.
+
+    Not part of Table II but useful for checking that a synthetic dataset
+    reproduces the long-tail shape of the real one.
+    """
+    counts = np.sort(dataset.item_popularity.astype(np.float64))
+    total = counts.sum()
+    if total == 0:
+        return 0.0
+    n = counts.shape[0]
+    cumulative = np.cumsum(counts)
+    return float((n + 1 - 2 * np.sum(cumulative) / total) / n)

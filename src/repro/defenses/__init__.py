@@ -1,0 +1,26 @@
+"""Defenses against model poisoning in federated recommendation.
+
+The paper's future-work section points to two defense families: detectors
+that flag anomalous uploaded gradients, and byzantine-robust aggregation
+rules.  Robust aggregation lives in :mod:`repro.federated.aggregation`
+(Krum, trimmed mean, median, norm bounding) so the server can use it
+directly; this subpackage adds gradient-anomaly detectors and the evaluation
+machinery to measure detection rates and the attack's effectiveness under
+defense.
+"""
+
+from repro.defenses.detectors import (
+    DetectionReport,
+    GradientNormDetector,
+    NonZeroRowCountDetector,
+    TargetConcentrationDetector,
+    evaluate_detector,
+)
+
+__all__ = [
+    "DetectionReport",
+    "GradientNormDetector",
+    "NonZeroRowCountDetector",
+    "TargetConcentrationDetector",
+    "evaluate_detector",
+]

@@ -1,0 +1,173 @@
+"""Gradient-anomaly detectors.
+
+These implement the first defense family discussed in the paper's Section
+V-D / VI: the server inspects uploaded gradients and flags suspicious
+clients.  The paper argues such detectors struggle in FR because benign
+gradients already vary widely across users (and DP noise widens the spread
+further); the evaluation utilities here let that claim be quantified —
+each detector produces per-round flags and :func:`evaluate_detector`
+aggregates them into precision / recall / false-positive rates.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.federated.updates import ClientUpdate
+
+__all__ = [
+    "DetectionReport",
+    "GradientNormDetector",
+    "NonZeroRowCountDetector",
+    "TargetConcentrationDetector",
+    "evaluate_detector",
+]
+
+
+@dataclass(frozen=True)
+class DetectionReport:
+    """Aggregate detection quality over a set of observed rounds."""
+
+    true_positives: int
+    false_positives: int
+    false_negatives: int
+    true_negatives: int
+
+    @property
+    def precision(self) -> float:
+        """Fraction of flagged uploads that were actually malicious."""
+        denominator = self.true_positives + self.false_positives
+        return self.true_positives / denominator if denominator else 0.0
+
+    @property
+    def recall(self) -> float:
+        """Fraction of malicious uploads that were flagged."""
+        denominator = self.true_positives + self.false_negatives
+        return self.true_positives / denominator if denominator else 0.0
+
+    @property
+    def false_positive_rate(self) -> float:
+        """Fraction of benign uploads that were wrongly flagged."""
+        denominator = self.false_positives + self.true_negatives
+        return self.false_positives / denominator if denominator else 0.0
+
+
+class GradientDetector(ABC):
+    """Interface of an upload-level anomaly detector."""
+
+    name: str = "detector"
+
+    @abstractmethod
+    def flag(self, updates: list[ClientUpdate]) -> np.ndarray:
+        """Return a boolean array marking the suspicious updates of a round."""
+
+
+class GradientNormDetector(GradientDetector):
+    """Flags uploads whose total gradient norm is an outlier.
+
+    An upload is flagged when its Frobenius norm exceeds
+    ``median + threshold * MAD`` of the round's norms (a robust z-score).
+    """
+
+    name = "gradient-norm"
+
+    def __init__(self, threshold: float = 3.5) -> None:
+        if threshold <= 0:
+            raise ConfigurationError("threshold must be positive")
+        self.threshold = float(threshold)
+
+    def flag(self, updates: list[ClientUpdate]) -> np.ndarray:
+        if not updates:
+            return np.zeros(0, dtype=bool)
+        norms = np.array(
+            [float(np.linalg.norm(update.item_gradients)) for update in updates]
+        )
+        median = np.median(norms)
+        mad = np.median(np.abs(norms - median))
+        if mad == 0.0:
+            return np.zeros(len(updates), dtype=bool)
+        robust_z = 0.6745 * (norms - median) / mad
+        return robust_z > self.threshold
+
+
+class NonZeroRowCountDetector(GradientDetector):
+    """Flags uploads touching an abnormally large number of item rows.
+
+    The server knows how many non-zero rows a typical user produces (about
+    twice its interaction count); uploads above ``max_rows`` are flagged.
+    This is the detector the paper's ``kappa`` constraint is designed to
+    evade.
+    """
+
+    name = "nonzero-rows"
+
+    def __init__(self, max_rows: int = 200) -> None:
+        if max_rows <= 0:
+            raise ConfigurationError("max_rows must be positive")
+        self.max_rows = int(max_rows)
+
+    def flag(self, updates: list[ClientUpdate]) -> np.ndarray:
+        return np.array([update.num_nonzero_rows > self.max_rows for update in updates])
+
+
+class TargetConcentrationDetector(GradientDetector):
+    """Flags uploads whose gradient mass concentrates on very few rows.
+
+    Poisoned uploads often put most of their energy on the (few) target
+    items; benign BPR uploads spread energy over all the user's positive and
+    negative items.  An upload is flagged when the top-``top_rows`` rows hold
+    more than ``concentration_threshold`` of its total squared norm.
+    """
+
+    name = "target-concentration"
+
+    def __init__(self, top_rows: int = 3, concentration_threshold: float = 0.9) -> None:
+        if top_rows <= 0:
+            raise ConfigurationError("top_rows must be positive")
+        if not 0.0 < concentration_threshold <= 1.0:
+            raise ConfigurationError("concentration_threshold must be in (0, 1]")
+        self.top_rows = int(top_rows)
+        self.concentration_threshold = float(concentration_threshold)
+
+    def flag(self, updates: list[ClientUpdate]) -> np.ndarray:
+        flags = np.zeros(len(updates), dtype=bool)
+        for index, update in enumerate(updates):
+            if update.item_gradients.size == 0:
+                continue
+            energies = np.sum(update.item_gradients**2, axis=1)
+            total = float(energies.sum())
+            if total <= 0:
+                continue
+            top = np.sort(energies)[::-1][: self.top_rows]
+            flags[index] = float(top.sum()) / total >= self.concentration_threshold
+        return flags
+
+
+def evaluate_detector(
+    detector: GradientDetector, observed_rounds: list[list[ClientUpdate]]
+) -> DetectionReport:
+    """Run ``detector`` over recorded rounds and tally its confusion matrix."""
+    true_positives = false_positives = false_negatives = true_negatives = 0
+    for updates in observed_rounds:
+        if not updates:
+            continue
+        flags = detector.flag(updates)
+        for update, flagged in zip(updates, flags):
+            if update.is_malicious and flagged:
+                true_positives += 1
+            elif update.is_malicious and not flagged:
+                false_negatives += 1
+            elif not update.is_malicious and flagged:
+                false_positives += 1
+            else:
+                true_negatives += 1
+    return DetectionReport(
+        true_positives=true_positives,
+        false_positives=false_positives,
+        false_negatives=false_negatives,
+        true_negatives=true_negatives,
+    )

@@ -1,0 +1,36 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+All errors raised by the library derive from :class:`ReproError` so callers
+can catch library failures with a single ``except`` clause while still being
+able to distinguish configuration problems from data problems.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class ConfigurationError(ReproError):
+    """Raised when a configuration object contains invalid values."""
+
+
+class DataError(ReproError):
+    """Raised when a dataset is malformed or inconsistent."""
+
+
+class ModelError(ReproError):
+    """Raised when a recommender model is used incorrectly."""
+
+
+class FederationError(ReproError):
+    """Raised when the federated protocol is violated."""
+
+
+class AttackError(ReproError):
+    """Raised when an attack is configured or invoked incorrectly."""
+
+
+class ExperimentError(ReproError):
+    """Raised when an experiment cannot be assembled or executed."""

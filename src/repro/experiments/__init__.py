@@ -1,0 +1,50 @@
+"""Experiment harness.
+
+Turns a declarative :class:`~repro.experiments.config.ExperimentConfig` into
+a full federated-training run (dataset -> split -> public interactions ->
+attack -> simulation -> metrics), and provides one generator per table and
+figure of the paper's evaluation section.
+"""
+
+from repro.experiments.config import ExperimentConfig, ExperimentProfile, BENCH_PROFILE, PAPER_PROFILE
+from repro.experiments.registry import available_attacks, build_attack
+from repro.experiments.reporting import TableResult, format_table
+from repro.experiments.runner import ExperimentResult, run_experiment
+from repro.experiments.tables import (
+    defense_table,
+    detection_table,
+    table2_dataset_sizes,
+    table3_xi_sweep,
+    table4_rho_sweep,
+    table5_kappa_sweep,
+    table6_data_poisoning,
+    table7_effectiveness,
+    table8_model_poisoning,
+    table9_ablation,
+)
+from repro.experiments.figures import FigureResult, figure3_side_effects
+
+__all__ = [
+    "ExperimentConfig",
+    "ExperimentProfile",
+    "BENCH_PROFILE",
+    "PAPER_PROFILE",
+    "ExperimentResult",
+    "run_experiment",
+    "build_attack",
+    "available_attacks",
+    "TableResult",
+    "format_table",
+    "table2_dataset_sizes",
+    "table3_xi_sweep",
+    "table4_rho_sweep",
+    "table5_kappa_sweep",
+    "table6_data_poisoning",
+    "table7_effectiveness",
+    "table8_model_poisoning",
+    "table9_ablation",
+    "defense_table",
+    "detection_table",
+    "FigureResult",
+    "figure3_side_effects",
+]

@@ -1,0 +1,122 @@
+"""Figure generators.
+
+Figure 3 of the paper plots, for each dataset, the training loss and HR@10 of
+every epoch for the clean run ("None") and for FedRecAttack with malicious
+proportions of 3%, 5% and 10%.  :func:`figure3_side_effects` regenerates
+those series; :class:`FigureResult` keeps the raw arrays and can render a
+plain-text summary (this library deliberately avoids a plotting dependency —
+the arrays can be fed to any plotting tool).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.experiments.config import BENCH_PROFILE, ExperimentConfig, ExperimentProfile
+from repro.experiments.runner import run_experiment
+
+__all__ = ["FigureResult", "figure3_side_effects"]
+
+
+@dataclass
+class FigureResult:
+    """Per-epoch series for one figure.
+
+    ``series`` maps a curve label (e.g. ``"None"`` or ``"rho=5%"``) to a
+    dictionary with ``"epochs"``, ``"training_loss"``, ``"eval_epochs"`` and
+    ``"hr_at_10"`` arrays.
+    """
+
+    title: str
+    series: dict[str, dict[str, np.ndarray]] = field(default_factory=dict)
+
+    def labels(self) -> list[str]:
+        """Curve labels in insertion order."""
+        return list(self.series)
+
+    def final_hr_at_10(self, label: str) -> float:
+        """Last HR@10 value of the given curve."""
+        values = self.series[label]["hr_at_10"]
+        return float(values[-1]) if values.shape[0] else 0.0
+
+    def final_training_loss(self, label: str) -> float:
+        """Last training-loss value of the given curve."""
+        values = self.series[label]["training_loss"]
+        return float(values[-1]) if values.shape[0] else 0.0
+
+    def to_text(self) -> str:
+        """Compact text summary of the curves (first / last values)."""
+        lines = [self.title]
+        for label, data in self.series.items():
+            loss = data["training_loss"]
+            hr = data["hr_at_10"]
+            lines.append(
+                f"  {label:<12} loss {loss[0]:.2f} -> {loss[-1]:.2f}   "
+                f"HR@10 {hr[0]:.4f} -> {hr[-1]:.4f}"
+            )
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.to_text()
+
+
+def figure3_side_effects(
+    profile: ExperimentProfile = BENCH_PROFILE,
+    dataset: str = "ml-100k",
+    rhos: tuple[float, ...] = (0.03, 0.05, 0.10),
+    evaluations: int = 6,
+) -> FigureResult:
+    """Regenerate Figure 3: training loss and HR@10 per epoch, clean vs attacked.
+
+    Parameters
+    ----------
+    profile:
+        Scale profile of the runs.
+    dataset:
+        Which of the three datasets to plot (the paper shows all three; the
+        benchmark regenerates one panel per invocation).
+    rhos:
+        Malicious-user proportions of the attacked curves.
+    evaluations:
+        Number of HR@10 evaluation points along the run.
+    """
+    result = FigureResult(title=f"Figure 3: side effects of FedRecAttack on {dataset}")
+    evaluate_every = max(1, profile.num_epochs // max(1, evaluations))
+
+    configurations: list[tuple[str, ExperimentConfig]] = [
+        (
+            "None",
+            profile.apply(
+                ExperimentConfig(
+                    dataset=dataset, attack="none", rho=0.0, evaluate_every=evaluate_every
+                )
+            ),
+        )
+    ]
+    for rho in rhos:
+        configurations.append(
+            (
+                f"rho={rho:.0%}",
+                profile.apply(
+                    ExperimentConfig(
+                        dataset=dataset,
+                        attack="fedrecattack",
+                        rho=rho,
+                        evaluate_every=evaluate_every,
+                    )
+                ),
+            )
+        )
+
+    for label, config in configurations:
+        outcome = run_experiment(config)
+        history = outcome.history
+        result.series[label] = {
+            "epochs": history.epochs(),
+            "training_loss": history.training_loss(),
+            "eval_epochs": history.evaluated_epochs(),
+            "hr_at_10": history.hr_at_10(),
+        }
+    return result

@@ -1,0 +1,62 @@
+"""Result tables rendered as fixed-width text.
+
+Every table generator returns a :class:`TableResult`, which keeps both the
+raw structured values (for programmatic assertions in the test/benchmark
+suite) and a formatted text rendering mirroring the corresponding table in
+the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["TableResult", "format_table"]
+
+
+def format_table(headers: list[str], rows: list[list[str]], title: str | None = None) -> str:
+    """Render ``headers``/``rows`` as fixed-width, column-aligned text."""
+    columns = len(headers)
+    normalised_rows = [[str(cell) for cell in row] + [""] * (columns - len(row)) for row in rows]
+    widths = [
+        max(len(headers[col]), *(len(row[col]) for row in normalised_rows)) if normalised_rows else len(headers[col])
+        for col in range(columns)
+    ]
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(headers[col].ljust(widths[col]) for col in range(columns)))
+    lines.append("  ".join("-" * widths[col] for col in range(columns)))
+    for row in normalised_rows:
+        lines.append("  ".join(row[col].ljust(widths[col]) for col in range(columns)))
+    return "\n".join(lines)
+
+
+@dataclass
+class TableResult:
+    """A regenerated table: raw values plus a text rendering.
+
+    Attributes
+    ----------
+    title:
+        The table's title (e.g. ``"Table VII: effectiveness of attacks"``).
+    headers:
+        Column headers of the text rendering.
+    rows:
+        Formatted table rows (strings).
+    raw:
+        Structured results keyed however the specific generator documents
+        (typically ``raw[row_label][column_label] -> float``), used by tests
+        and benchmarks for quantitative assertions.
+    """
+
+    title: str
+    headers: list[str]
+    rows: list[list[str]] = field(default_factory=list)
+    raw: dict = field(default_factory=dict)
+
+    def to_text(self) -> str:
+        """The table rendered as fixed-width text."""
+        return format_table(self.headers, self.rows, title=self.title)
+
+    def __str__(self) -> str:
+        return self.to_text()

@@ -1,0 +1,117 @@
+"""Single-experiment runner.
+
+``run_experiment`` turns an :class:`ExperimentConfig` into numbers: it loads
+(or synthesises) the dataset, makes the leave-one-out split, exposes the
+public interactions, selects target items, builds the attack and the
+federated simulation, trains, and returns the final exposure and accuracy
+metrics together with the full per-epoch history.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.attacks.target_selection import select_target_items
+from repro.data.loaders import load_dataset
+from repro.data.public import sample_public_interactions
+from repro.data.splits import leave_one_out_split
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.registry import build_attack
+from repro.federated.history import TrainingHistory
+from repro.federated.simulation import FederatedSimulation
+from repro.metrics.accuracy import AccuracyReport
+from repro.metrics.exposure import ExposureReport
+from repro.rng import SeedSequenceFactory
+
+__all__ = ["ExperimentResult", "run_experiment"]
+
+
+@dataclass
+class ExperimentResult:
+    """Everything measured in one experiment run."""
+
+    config: ExperimentConfig
+    exposure: ExposureReport | None
+    accuracy: AccuracyReport | None
+    history: TrainingHistory
+    target_items: np.ndarray
+    num_malicious: int
+
+    @property
+    def er_at_5(self) -> float:
+        """Final ER@5 (0 when no exposure evaluation was configured)."""
+        return self.exposure.er_at_5 if self.exposure else 0.0
+
+    @property
+    def er_at_10(self) -> float:
+        """Final ER@10."""
+        return self.exposure.er_at_10 if self.exposure else 0.0
+
+    @property
+    def target_ndcg_at_10(self) -> float:
+        """Final NDCG@10 of the target items."""
+        return self.exposure.ndcg_at_10 if self.exposure else 0.0
+
+    @property
+    def hr_at_10(self) -> float:
+        """Final HR@10 of the held-out items."""
+        return self.accuracy.hr_at_10 if self.accuracy else 0.0
+
+
+def run_experiment(config: ExperimentConfig, update_observer=None) -> ExperimentResult:
+    """Run one federated-training experiment described by ``config``.
+
+    ``update_observer``, when given, is called as ``observer(round_index,
+    updates)`` after every aggregation round with the round's client updates —
+    this is how the defense experiments feed gradient detectors without
+    changing the protocol.
+    """
+    config.validate()
+    seeds = SeedSequenceFactory(config.seed)
+
+    dataset = load_dataset(
+        config.dataset,
+        data_dir=config.data_dir,
+        scale=config.scale,
+        rng=seeds.generator("dataset"),
+    )
+    split = leave_one_out_split(dataset, rng=seeds.generator("split"))
+    public = sample_public_interactions(split.train, config.xi, rng=seeds.generator("public"))
+    target_items = select_target_items(
+        split.train,
+        count=config.num_target_items,
+        strategy=config.target_strategy,
+        rng=seeds.generator("targets"),
+    )
+
+    attack = build_attack(config, public)
+    num_malicious = 0
+    if attack is not None:
+        num_malicious = max(1, int(math.ceil(config.rho * split.train.num_users)))
+
+    evaluate_every = config.evaluate_every or config.num_epochs
+    simulation = FederatedSimulation(
+        train=split.train,
+        config=config.to_federated_config(),
+        test_items=split.test_items,
+        target_items=target_items,
+        attack=attack,
+        num_malicious=num_malicious,
+        seed=seeds.child("simulation"),
+        evaluate_every=evaluate_every,
+        eval_num_negatives=config.eval_num_negatives,
+        update_observer=update_observer,
+    )
+    outcome = simulation.run(config.num_epochs)
+
+    return ExperimentResult(
+        config=config,
+        exposure=outcome.exposure,
+        accuracy=outcome.accuracy,
+        history=outcome.history,
+        target_items=target_items,
+        num_malicious=num_malicious,
+    )

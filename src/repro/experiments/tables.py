@@ -1,0 +1,381 @@
+"""Table generators — one per table of the paper's evaluation section.
+
+Every generator runs the required grid of experiments through
+:func:`repro.experiments.runner.run_experiment` at the scale given by an
+:class:`ExperimentProfile` and returns a :class:`TableResult` whose rows
+mirror the corresponding table of the paper.  Benchmarks call these with the
+laptop-scale profile; passing :data:`PAPER_PROFILE` reproduces the full-scale
+setup.
+"""
+
+from __future__ import annotations
+
+from repro.data.loaders import load_dataset
+from repro.data.stats import compute_statistics
+from repro.experiments.config import BENCH_PROFILE, ExperimentConfig, ExperimentProfile
+from repro.experiments.reporting import TableResult
+from repro.experiments.runner import ExperimentResult, run_experiment
+from repro.rng import SeedSequenceFactory
+
+__all__ = [
+    "table2_dataset_sizes",
+    "table3_xi_sweep",
+    "table4_rho_sweep",
+    "table5_kappa_sweep",
+    "table6_data_poisoning",
+    "table7_effectiveness",
+    "table8_model_poisoning",
+    "table9_ablation",
+    "defense_table",
+    "detection_table",
+]
+
+_ALL_DATASETS = ("ml-100k", "ml-1m", "steam-200k")
+
+
+def _configure(
+    profile: ExperimentProfile, dataset: str, attack: str, **overrides
+) -> ExperimentConfig:
+    """Build an experiment configuration at the profile's scale."""
+    config = ExperimentConfig(dataset=dataset, attack=attack, **overrides)
+    return profile.apply(config)
+
+
+def _metrics_row(result: ExperimentResult) -> dict[str, float]:
+    return {
+        "ER@5": result.er_at_5,
+        "ER@10": result.er_at_10,
+        "NDCG@10": result.target_ndcg_at_10,
+    }
+
+
+def _fmt(value: float) -> str:
+    return f"{value:.4f}"
+
+
+# --------------------------------------------------------------------- #
+# Table II — dataset sizes
+# --------------------------------------------------------------------- #
+def table2_dataset_sizes(
+    profile: ExperimentProfile = BENCH_PROFILE,
+    datasets: tuple[str, ...] = _ALL_DATASETS,
+) -> TableResult:
+    """Regenerate Table II: sizes and sparsity of the evaluation datasets."""
+    seeds = SeedSequenceFactory(profile.seed)
+    headers = ["Dataset", "#users", "#items", "#interactions", "Avg.", "Sparsity"]
+    rows: list[list[str]] = []
+    raw: dict[str, dict[str, float]] = {}
+    for name in datasets:
+        dataset = load_dataset(
+            profile.dataset_for(name), scale=profile.scale_for(name), rng=seeds.generator(name)
+        )
+        stats = compute_statistics(dataset)
+        rows.append(stats.as_row())
+        raw[name] = {
+            "num_users": stats.num_users,
+            "num_items": stats.num_items,
+            "num_interactions": stats.num_interactions,
+            "avg_interactions_per_user": stats.average_interactions_per_user,
+            "sparsity": stats.sparsity,
+        }
+    return TableResult(
+        title="Table II: sizes of datasets", headers=headers, rows=rows, raw=raw
+    )
+
+
+# --------------------------------------------------------------------- #
+# Tables III-V — impact of the attacker's limitations on MovieLens-100K
+# --------------------------------------------------------------------- #
+def _single_parameter_sweep(
+    profile: ExperimentProfile,
+    title: str,
+    parameter: str,
+    values: tuple,
+    label: str,
+    dataset: str = "ml-100k",
+) -> TableResult:
+    headers = ["Metric"] + [f"{label}={value}" for value in values]
+    raw: dict[str, dict[str, float]] = {}
+    for value in values:
+        config = _configure(profile, dataset, "fedrecattack", **{parameter: value})
+        result = run_experiment(config)
+        raw[f"{label}={value}"] = _metrics_row(result)
+    rows = [
+        [metric] + [_fmt(raw[f"{label}={value}"][metric]) for value in values]
+        for metric in ("ER@5", "ER@10", "NDCG@10")
+    ]
+    return TableResult(title=title, headers=headers, rows=rows, raw=raw)
+
+
+def table3_xi_sweep(
+    profile: ExperimentProfile = BENCH_PROFILE,
+    xis: tuple[float, ...] = (0.01, 0.02, 0.03, 0.05, 0.10),
+) -> TableResult:
+    """Table III: impact of the public-interaction proportion ``xi``."""
+    return _single_parameter_sweep(
+        profile, "Table III: impact of xi on FedRecAttack", "xi", xis, "xi"
+    )
+
+
+def table4_rho_sweep(
+    profile: ExperimentProfile = BENCH_PROFILE,
+    rhos: tuple[float, ...] = (0.01, 0.02, 0.03, 0.05, 0.10),
+) -> TableResult:
+    """Table IV: impact of the malicious-user proportion ``rho``."""
+    return _single_parameter_sweep(
+        profile, "Table IV: impact of rho on FedRecAttack", "rho", rhos, "rho"
+    )
+
+
+def table5_kappa_sweep(
+    profile: ExperimentProfile = BENCH_PROFILE,
+    kappas: tuple[int, ...] = (20, 40, 60, 80, 100),
+) -> TableResult:
+    """Table V: impact of the non-zero-row limit ``kappa``."""
+    return _single_parameter_sweep(
+        profile, "Table V: impact of kappa on FedRecAttack", "kappa", kappas, "kappa"
+    )
+
+
+# --------------------------------------------------------------------- #
+# Table VI — comparison with data-poisoning attacks (MovieLens-100K)
+# --------------------------------------------------------------------- #
+def table6_data_poisoning(
+    profile: ExperimentProfile = BENCH_PROFILE,
+    rhos: tuple[float, ...] = (0.005, 0.01, 0.03, 0.05),
+    attacks: tuple[str, ...] = ("none", "p1", "p2", "fedrecattack"),
+) -> TableResult:
+    """Table VI: ER@10 of FedRecAttack vs data-poisoning baselines."""
+    headers = ["Attack"] + [f"rho={rho:.1%}" for rho in rhos]
+    rows: list[list[str]] = []
+    raw: dict[str, dict[str, float]] = {}
+    for attack in attacks:
+        raw[attack] = {}
+        row = [_display_name(attack)]
+        for rho in rhos:
+            if attack == "none":
+                config = _configure(profile, "ml-100k", attack, rho=0.0)
+            else:
+                config = _configure(profile, "ml-100k", attack, rho=rho)
+            result = run_experiment(config)
+            raw[attack][f"rho={rho}"] = result.er_at_10
+            row.append(_fmt(result.er_at_10))
+        rows.append(row)
+    return TableResult(
+        title="Table VI: ER@10 of FedRecAttack and data poisoning attacks (MovieLens-100K)",
+        headers=headers,
+        rows=rows,
+        raw=raw,
+    )
+
+
+# --------------------------------------------------------------------- #
+# Table VII — effectiveness of attacks on all three datasets
+# --------------------------------------------------------------------- #
+def table7_effectiveness(
+    profile: ExperimentProfile = BENCH_PROFILE,
+    datasets: tuple[str, ...] = _ALL_DATASETS,
+    attacks: tuple[str, ...] = ("none", "random", "bandwagon", "popular", "fedrecattack"),
+    rhos: tuple[float, ...] = (0.03, 0.05, 0.10),
+) -> TableResult:
+    """Table VII: ER@5 / ER@10 / NDCG@10 of every attack on every dataset."""
+    headers = ["Dataset", "Attack"]
+    for rho in rhos:
+        for metric in ("ER@5", "ER@10", "NDCG@10"):
+            headers.append(f"{metric} (rho={rho:.0%})")
+    rows: list[list[str]] = []
+    raw: dict[str, dict[str, dict[str, dict[str, float]]]] = {}
+    for dataset in datasets:
+        raw[dataset] = {}
+        for attack in attacks:
+            raw[dataset][attack] = {}
+            row = [dataset, _display_name(attack)]
+            for rho in rhos:
+                config = _configure(
+                    profile, dataset, attack, rho=0.0 if attack == "none" else rho
+                )
+                result = run_experiment(config)
+                metrics = _metrics_row(result)
+                raw[dataset][attack][f"rho={rho}"] = metrics
+                row.extend(_fmt(metrics[m]) for m in ("ER@5", "ER@10", "NDCG@10"))
+            rows.append(row)
+    return TableResult(
+        title="Table VII: effectiveness of attacks with different proportions of malicious users",
+        headers=headers,
+        rows=rows,
+        raw=raw,
+    )
+
+
+# --------------------------------------------------------------------- #
+# Table VIII — model-poisoning comparison on MovieLens-1M
+# --------------------------------------------------------------------- #
+def table8_model_poisoning(
+    profile: ExperimentProfile = BENCH_PROFILE,
+    attacks: tuple[str, ...] = ("none", "p3", "p4", "eb", "pipattack", "fedrecattack"),
+    rhos: tuple[float, ...] = (0.10, 0.20, 0.30, 0.40),
+    dataset: str = "ml-1m",
+) -> TableResult:
+    """Table VIII: HR@10 and ER@5 of model-poisoning attacks on MovieLens-1M."""
+    headers = ["Attack"]
+    for rho in rhos:
+        headers.extend([f"HR@10 (rho={rho:.0%})", f"ER@5 (rho={rho:.0%})"])
+    rows: list[list[str]] = []
+    raw: dict[str, dict[str, dict[str, float]]] = {}
+    for attack in attacks:
+        raw[attack] = {}
+        row = [_display_name(attack)]
+        for rho in rhos:
+            config = _configure(
+                profile, dataset, attack, rho=0.0 if attack == "none" else rho
+            )
+            result = run_experiment(config)
+            raw[attack][f"rho={rho}"] = {"HR@10": result.hr_at_10, "ER@5": result.er_at_5}
+            row.extend([_fmt(result.hr_at_10), _fmt(result.er_at_5)])
+        rows.append(row)
+    return TableResult(
+        title="Table VIII: HR@10 and ER@5 of model poisoning attacks (MovieLens-1M)",
+        headers=headers,
+        rows=rows,
+        raw=raw,
+    )
+
+
+# --------------------------------------------------------------------- #
+# Table IX — ablation of the public interactions
+# --------------------------------------------------------------------- #
+def table9_ablation(
+    profile: ExperimentProfile = BENCH_PROFILE,
+    datasets: tuple[str, ...] = _ALL_DATASETS,
+    xis: tuple[float, ...] = (0.01, 0.0),
+) -> TableResult:
+    """Table IX: FedRecAttack with (xi=1%) and without (xi=0%) public interactions."""
+    headers = ["Dataset", "Metric"] + [f"xi={xi:.0%}" for xi in xis]
+    rows: list[list[str]] = []
+    raw: dict[str, dict[str, dict[str, float]]] = {}
+    for dataset in datasets:
+        raw[dataset] = {}
+        results = {}
+        for xi in xis:
+            config = _configure(profile, dataset, "fedrecattack", xi=xi)
+            results[xi] = _metrics_row(run_experiment(config))
+            raw[dataset][f"xi={xi}"] = results[xi]
+        for metric in ("ER@5", "ER@10", "NDCG@10"):
+            rows.append([dataset, metric] + [_fmt(results[xi][metric]) for xi in xis])
+    return TableResult(
+        title="Table IX: effectiveness of FedRecAttack with & without public interactions",
+        headers=headers,
+        rows=rows,
+        raw=raw,
+    )
+
+
+# --------------------------------------------------------------------- #
+# Extension: robust-aggregation defenses (the paper's future work)
+# --------------------------------------------------------------------- #
+def defense_table(
+    profile: ExperimentProfile = BENCH_PROFILE,
+    aggregators: tuple[str, ...] = ("sum", "median", "trimmed_mean", "krum", "norm_bounding"),
+    dataset: str = "ml-100k",
+    rho: float = 0.05,
+) -> TableResult:
+    """Extension table: FedRecAttack against byzantine-robust aggregation."""
+    headers = ["Aggregator", "ER@10", "HR@10"]
+    rows: list[list[str]] = []
+    raw: dict[str, dict[str, float]] = {}
+    for aggregator in aggregators:
+        config = _configure(
+            profile, dataset, "fedrecattack", rho=rho, aggregator=aggregator
+        )
+        result = run_experiment(config)
+        raw[aggregator] = {"ER@10": result.er_at_10, "HR@10": result.hr_at_10}
+        rows.append([aggregator, _fmt(result.er_at_10), _fmt(result.hr_at_10)])
+    return TableResult(
+        title="Extension: FedRecAttack under robust aggregation defenses",
+        headers=headers,
+        rows=rows,
+        raw=raw,
+    )
+
+
+# --------------------------------------------------------------------- #
+# Extension: gradient-anomaly detection (the paper's other defense family)
+# --------------------------------------------------------------------- #
+def detection_table(
+    profile: ExperimentProfile = BENCH_PROFILE,
+    attacks: tuple[str, ...] = ("fedrecattack", "eb", "pipattack"),
+    dataset: str = "ml-100k",
+    rho: float = 0.05,
+    round_stride: int = 4,
+) -> TableResult:
+    """Extension table: detection quality of gradient-anomaly detectors.
+
+    For every attack the experiment is run once while recording every
+    ``round_stride``-th round's client uploads; each detector from
+    :mod:`repro.defenses` is then scored on precision, recall and
+    false-positive rate over the recorded uploads.
+    """
+    from repro.defenses.detectors import (
+        GradientNormDetector,
+        NonZeroRowCountDetector,
+        TargetConcentrationDetector,
+        evaluate_detector,
+    )
+
+    detectors = [
+        GradientNormDetector(),
+        NonZeroRowCountDetector(),
+        TargetConcentrationDetector(),
+    ]
+    headers = ["Attack", "Detector", "Precision", "Recall", "FPR"]
+    rows: list[list[str]] = []
+    raw: dict[str, dict[str, dict[str, float]]] = {}
+    for attack in attacks:
+        observed: list[list] = []
+
+        def observer(round_index: int, updates: list) -> None:
+            if round_index % round_stride == 0:
+                observed.append([update.copy() for update in updates])
+
+        config = _configure(profile, dataset, attack, rho=rho)
+        run_experiment(config, update_observer=observer)
+        raw[attack] = {}
+        for detector in detectors:
+            report = evaluate_detector(detector, observed)
+            raw[attack][detector.name] = {
+                "precision": report.precision,
+                "recall": report.recall,
+                "fpr": report.false_positive_rate,
+            }
+            rows.append(
+                [
+                    _display_name(attack),
+                    detector.name,
+                    _fmt(report.precision),
+                    _fmt(report.recall),
+                    _fmt(report.false_positive_rate),
+                ]
+            )
+    return TableResult(
+        title="Extension: gradient-anomaly detection of model poisoning attacks",
+        headers=headers,
+        rows=rows,
+        raw=raw,
+    )
+
+
+def _display_name(attack: str) -> str:
+    mapping = {
+        "none": "None",
+        "random": "Random",
+        "bandwagon": "Bandwagon",
+        "popular": "Popular",
+        "fedrecattack": "FedRecAttack",
+        "eb": "EB",
+        "pipattack": "PipAttack",
+        "p1": "P1",
+        "p2": "P2",
+        "p3": "P3",
+        "p4": "P4",
+    }
+    return mapping.get(attack.lower(), attack)

@@ -1,0 +1,242 @@
+"""Server-side aggregation rules.
+
+The paper's protocol simply sums the uploaded gradients and applies one SGD
+step (Eq. 7).  The future-work section discusses byzantine-robust rules
+(Krum, trimmed mean, median) as candidate defenses; those are implemented
+here too so the defense extension experiments can evaluate FedRecAttack
+against them.
+
+All aggregators consume the sparse per-client updates and return a dense
+``(num_items, k)`` item-gradient (plus an optional flat ``Theta`` gradient).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError, FederationError
+from repro.federated.updates import ClientUpdate
+
+__all__ = [
+    "AggregationResult",
+    "Aggregator",
+    "SumAggregator",
+    "MeanAggregator",
+    "TrimmedMeanAggregator",
+    "MedianAggregator",
+    "KrumAggregator",
+    "NormBoundingAggregator",
+    "make_aggregator",
+]
+
+
+@dataclass(frozen=True)
+class AggregationResult:
+    """Aggregated gradients for one round."""
+
+    item_gradient: np.ndarray
+    theta_gradient: np.ndarray | None
+
+
+class Aggregator(ABC):
+    """Interface of a server-side aggregation rule."""
+
+    name: str = "aggregator"
+
+    @abstractmethod
+    def aggregate(
+        self, updates: list[ClientUpdate], num_items: int, num_factors: int
+    ) -> AggregationResult:
+        """Combine the round's client updates into a single gradient."""
+
+    @staticmethod
+    def _stack_dense(
+        updates: list[ClientUpdate], num_items: int, num_factors: int
+    ) -> np.ndarray:
+        """Dense ``(num_clients, num_items, k)`` tensor of all updates."""
+        if not updates:
+            return np.zeros((0, num_items, num_factors), dtype=np.float64)
+        return np.stack([u.to_dense(num_items, num_factors) for u in updates], axis=0)
+
+    @staticmethod
+    def _sum_theta(updates: list[ClientUpdate]) -> np.ndarray | None:
+        thetas = [u.theta_gradient for u in updates if u.theta_gradient is not None]
+        if not thetas:
+            return None
+        return np.sum(np.stack(thetas, axis=0), axis=0)
+
+
+class SumAggregator(Aggregator):
+    """Plain gradient sum — the rule of Eq. (7)."""
+
+    name = "sum"
+
+    def aggregate(
+        self, updates: list[ClientUpdate], num_items: int, num_factors: int
+    ) -> AggregationResult:
+        total = np.zeros((num_items, num_factors), dtype=np.float64)
+        for update in updates:
+            if update.item_ids.shape[0] > 0:
+                np.add.at(total, update.item_ids, update.item_gradients)
+        return AggregationResult(item_gradient=total, theta_gradient=self._sum_theta(updates))
+
+
+class MeanAggregator(Aggregator):
+    """Average of the client gradients (FedAvg-style)."""
+
+    name = "mean"
+
+    def aggregate(
+        self, updates: list[ClientUpdate], num_items: int, num_factors: int
+    ) -> AggregationResult:
+        result = SumAggregator().aggregate(updates, num_items, num_factors)
+        count = max(len(updates), 1)
+        theta = None if result.theta_gradient is None else result.theta_gradient / count
+        return AggregationResult(item_gradient=result.item_gradient / count, theta_gradient=theta)
+
+
+class TrimmedMeanAggregator(Aggregator):
+    """Coordinate-wise trimmed mean over the participating clients.
+
+    For each coordinate the ``trim_ratio`` largest and smallest client values
+    are dropped before averaging; the result is rescaled by the number of
+    clients so its magnitude is comparable to the sum rule.
+    """
+
+    name = "trimmed_mean"
+
+    def __init__(self, trim_ratio: float = 0.1) -> None:
+        if not 0.0 <= trim_ratio < 0.5:
+            raise ConfigurationError("trim_ratio must be in [0, 0.5)")
+        self.trim_ratio = float(trim_ratio)
+
+    def aggregate(
+        self, updates: list[ClientUpdate], num_items: int, num_factors: int
+    ) -> AggregationResult:
+        if not updates:
+            return AggregationResult(np.zeros((num_items, num_factors)), None)
+        stacked = self._stack_dense(updates, num_items, num_factors)
+        num_clients = stacked.shape[0]
+        trim = int(np.floor(self.trim_ratio * num_clients))
+        if trim > 0 and num_clients - 2 * trim > 0:
+            ordered = np.sort(stacked, axis=0)
+            trimmed = ordered[trim : num_clients - trim]
+            mean = trimmed.mean(axis=0)
+        else:
+            mean = stacked.mean(axis=0)
+        return AggregationResult(
+            item_gradient=mean * num_clients, theta_gradient=self._sum_theta(updates)
+        )
+
+
+class MedianAggregator(Aggregator):
+    """Coordinate-wise median, rescaled by the number of clients."""
+
+    name = "median"
+
+    def aggregate(
+        self, updates: list[ClientUpdate], num_items: int, num_factors: int
+    ) -> AggregationResult:
+        if not updates:
+            return AggregationResult(np.zeros((num_items, num_factors)), None)
+        stacked = self._stack_dense(updates, num_items, num_factors)
+        median = np.median(stacked, axis=0)
+        return AggregationResult(
+            item_gradient=median * stacked.shape[0], theta_gradient=self._sum_theta(updates)
+        )
+
+
+class KrumAggregator(Aggregator):
+    """Krum: select the update closest to its neighbours and scale it.
+
+    ``num_malicious`` is the server's assumption about how many uploads per
+    round may be malicious (the classical ``f`` of Krum).
+    """
+
+    name = "krum"
+
+    def __init__(self, num_malicious: int = 1, multi_krum: int = 1) -> None:
+        if num_malicious < 0:
+            raise ConfigurationError("num_malicious must be non-negative")
+        if multi_krum < 1:
+            raise ConfigurationError("multi_krum must be at least 1")
+        self.num_malicious = int(num_malicious)
+        self.multi_krum = int(multi_krum)
+
+    def aggregate(
+        self, updates: list[ClientUpdate], num_items: int, num_factors: int
+    ) -> AggregationResult:
+        if not updates:
+            return AggregationResult(np.zeros((num_items, num_factors)), None)
+        stacked = self._stack_dense(updates, num_items, num_factors)
+        flattened = stacked.reshape(stacked.shape[0], -1)
+        scores = self._krum_scores(flattened)
+        selected = np.argsort(scores, kind="stable")[: self.multi_krum]
+        chosen = stacked[selected].mean(axis=0)
+        return AggregationResult(
+            item_gradient=chosen * stacked.shape[0],
+            theta_gradient=self._sum_theta([updates[i] for i in selected]),
+        )
+
+    def _krum_scores(self, flattened: np.ndarray) -> np.ndarray:
+        num_clients = flattened.shape[0]
+        distances = np.zeros((num_clients, num_clients), dtype=np.float64)
+        for i in range(num_clients):
+            diffs = flattened - flattened[i]
+            distances[i] = np.einsum("ij,ij->i", diffs, diffs)
+        neighbours = max(1, num_clients - self.num_malicious - 2)
+        neighbours = min(neighbours, num_clients - 1) if num_clients > 1 else 1
+        scores = np.empty(num_clients, dtype=np.float64)
+        for i in range(num_clients):
+            others = np.delete(distances[i], i)
+            others.sort()
+            scores[i] = float(np.sum(others[:neighbours]))
+        return scores
+
+
+class NormBoundingAggregator(Aggregator):
+    """Sum rule with per-row norm bounding applied to every upload first."""
+
+    name = "norm_bounding"
+
+    def __init__(self, max_row_norm: float = 1.0) -> None:
+        if max_row_norm <= 0:
+            raise ConfigurationError("max_row_norm must be positive")
+        self.max_row_norm = float(max_row_norm)
+
+    def aggregate(
+        self, updates: list[ClientUpdate], num_items: int, num_factors: int
+    ) -> AggregationResult:
+        total = np.zeros((num_items, num_factors), dtype=np.float64)
+        for update in updates:
+            if update.item_ids.shape[0] == 0:
+                continue
+            norms = np.linalg.norm(update.item_gradients, axis=1, keepdims=True)
+            scale = np.minimum(1.0, self.max_row_norm / np.maximum(norms, 1e-12))
+            np.add.at(total, update.item_ids, update.item_gradients * scale)
+        return AggregationResult(item_gradient=total, theta_gradient=self._sum_theta(updates))
+
+
+_AGGREGATORS = {
+    "sum": SumAggregator,
+    "mean": MeanAggregator,
+    "trimmed_mean": TrimmedMeanAggregator,
+    "median": MedianAggregator,
+    "krum": KrumAggregator,
+    "norm_bounding": NormBoundingAggregator,
+}
+
+
+def make_aggregator(name: str, **options) -> Aggregator:
+    """Instantiate an aggregation rule by name."""
+    key = name.lower()
+    if key not in _AGGREGATORS:
+        known = ", ".join(sorted(_AGGREGATORS))
+        raise ConfigurationError(f"unknown aggregator {name!r}; known aggregators: {known}")
+    try:
+        return _AGGREGATORS[key](**options)
+    except TypeError as error:
+        raise ConfigurationError(f"invalid options for aggregator {name!r}: {error}") from error

@@ -1,0 +1,79 @@
+"""Differential-privacy mechanisms used by the clients.
+
+Eq. (5) of the paper: before uploading, each selected client adds Gaussian
+noise ``N(0, mu^2 C^2 I)`` to its gradients, where ``mu`` is the noise scale
+and ``C`` the L2-norm bound of gradient rows.  The strict Gaussian-mechanism
+variant also clips rows to norm ``C`` first; both behaviours are available.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import FederationError
+from repro.federated.updates import ClientUpdate
+from repro.rng import ensure_rng
+
+__all__ = ["clip_rows", "GaussianNoiseMechanism"]
+
+
+def clip_rows(rows: np.ndarray, max_norm: float) -> np.ndarray:
+    """Clip every row of ``rows`` to L2 norm at most ``max_norm``.
+
+    Rows already within the bound are returned unchanged (Eq. 23's clipping
+    rule for the attacker uses the same operation).
+    """
+    if max_norm <= 0:
+        raise FederationError(f"max_norm must be positive, got {max_norm}")
+    rows = np.asarray(rows, dtype=np.float64)
+    if rows.size == 0:
+        return rows.copy()
+    norms = np.linalg.norm(rows, axis=1, keepdims=True)
+    scale = np.minimum(1.0, max_norm / np.maximum(norms, 1e-12))
+    return rows * scale
+
+
+class GaussianNoiseMechanism:
+    """Adds the per-row Gaussian noise of Eq. (5) to client updates."""
+
+    def __init__(
+        self,
+        noise_scale: float,
+        clip_norm: float,
+        clip_before_noise: bool = False,
+        rng: np.random.Generator | int | None = None,
+    ) -> None:
+        if noise_scale < 0:
+            raise FederationError("noise_scale must be non-negative")
+        if clip_norm <= 0:
+            raise FederationError("clip_norm must be positive")
+        self.noise_scale = float(noise_scale)
+        self.clip_norm = float(clip_norm)
+        self.clip_before_noise = bool(clip_before_noise)
+        self._rng = ensure_rng(rng)
+
+    @property
+    def noise_stddev(self) -> float:
+        """Standard deviation ``mu * C`` of the added noise."""
+        return self.noise_scale * self.clip_norm
+
+    def apply(self, update: ClientUpdate) -> ClientUpdate:
+        """Return a privatised copy of ``update``.
+
+        With ``noise_scale == 0`` and clipping disabled the update is
+        returned unchanged (the paper's default configuration).
+        """
+        if self.noise_scale == 0.0 and not self.clip_before_noise:
+            return update
+        result = update.copy()
+        gradients = result.item_gradients
+        if self.clip_before_noise:
+            gradients = clip_rows(gradients, self.clip_norm)
+        if self.noise_scale > 0.0 and gradients.size > 0:
+            gradients = gradients + self._rng.normal(0.0, self.noise_stddev, size=gradients.shape)
+        result.item_gradients = gradients
+        if result.theta_gradient is not None and self.noise_scale > 0.0:
+            result.theta_gradient = result.theta_gradient + self._rng.normal(
+                0.0, self.noise_stddev, size=result.theta_gradient.shape
+            )
+        return result

@@ -1,0 +1,82 @@
+"""Central server.
+
+The server owns the shared parameters: the item feature matrix ``V`` and,
+when the interaction function is learnable, its parameters ``Theta``.  Each
+round it collects the selected clients' gradients, aggregates them and
+applies one SGD step (Eq. 7).  The server never sees any user's feature
+vector or raw interactions.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import FederationError
+from repro.federated.aggregation import Aggregator, make_aggregator
+from repro.federated.config import FederatedConfig
+from repro.federated.updates import ClientUpdate
+from repro.models.neural import MLPScorer
+from repro.rng import ensure_rng
+
+__all__ = ["Server"]
+
+
+class Server:
+    """Central server of the federated recommender."""
+
+    def __init__(
+        self,
+        num_items: int,
+        config: FederatedConfig,
+        rng: np.random.Generator | int | None = None,
+        aggregator: Aggregator | None = None,
+    ) -> None:
+        config.validate()
+        if num_items <= 0:
+            raise FederationError("num_items must be positive")
+        generator = ensure_rng(rng)
+        self.config = config
+        self.num_items = int(num_items)
+        self.num_factors = int(config.num_factors)
+        #: Shared item feature matrix ``V``.
+        self.item_factors = generator.normal(
+            0.0, config.init_scale, size=(num_items, config.num_factors)
+        )
+        #: Shared interaction-function parameters ``Theta`` (None for MF).
+        self.scorer: MLPScorer | None = None
+        if config.use_learnable_scorer:
+            self.scorer = MLPScorer(
+                config.num_factors, config.scorer_hidden_units, rng=generator
+            )
+        self.aggregator = aggregator or make_aggregator(
+            config.aggregator, **config.aggregator_options
+        )
+        #: Number of aggregation rounds applied so far.
+        self.rounds_applied = 0
+
+    def apply_round(self, updates: list[ClientUpdate]) -> None:
+        """Aggregate the round's updates and apply one SGD step (Eq. 7)."""
+        if not updates:
+            return
+        result = self.aggregator.aggregate(updates, self.num_items, self.num_factors)
+        self.item_factors = self.item_factors - self.config.learning_rate * result.item_gradient
+        if self.scorer is not None and result.theta_gradient is not None:
+            parameters = self.scorer.get_parameters()
+            self.scorer.set_parameters(
+                parameters - self.config.learning_rate * result.theta_gradient
+            )
+        self.rounds_applied += 1
+
+    def snapshot_item_factors(self) -> np.ndarray:
+        """A copy of the current item matrix (what clients receive each round)."""
+        return self.item_factors.copy()
+
+    def snapshot_scorer(self) -> MLPScorer | None:
+        """A copy of the current scorer, or ``None`` for plain MF."""
+        return None if self.scorer is None else self.scorer.copy()
+
+    def __repr__(self) -> str:
+        return (
+            f"Server(items={self.num_items}, factors={self.num_factors}, "
+            f"aggregator={self.aggregator.name}, rounds={self.rounds_applied})"
+        )

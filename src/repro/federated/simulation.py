@@ -1,0 +1,298 @@
+"""End-to-end federated training simulation.
+
+:class:`FederatedSimulation` wires together the dataset, the server, the
+benign clients, the injected malicious clients and an optional attack, and
+runs the per-round protocol of Section III-B for a configured number of
+epochs.  Every epoch it records the aggregate benign training loss, and at a
+configurable cadence it evaluates recommendation accuracy (HR@10 / NDCG@10 on
+the held-out items) and the attack's exposure metrics (ER@5 / ER@10 /
+NDCG@10 of the target items).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable
+
+import numpy as np
+
+from repro.data.dataset import InteractionDataset
+from repro.exceptions import FederationError
+from repro.federated.client import BenignClient, MaliciousClient
+from repro.federated.config import FederatedConfig
+from repro.federated.history import EpochRecord, TrainingHistory
+from repro.federated.privacy import GaussianNoiseMechanism
+from repro.federated.server import Server
+from repro.federated.updates import ClientUpdate
+from repro.metrics.accuracy import AccuracyReport, evaluate_accuracy
+from repro.metrics.exposure import ExposureReport, evaluate_exposure
+from repro.rng import SeedSequenceFactory
+
+if TYPE_CHECKING:  # pragma: no cover - import for type checkers only
+    from repro.attacks.base import Attack
+
+__all__ = ["FederatedSimulation", "SimulationResult"]
+
+UpdateObserver = Callable[[int, list[ClientUpdate]], None]
+
+
+@dataclass
+class SimulationResult:
+    """Outcome of one federated training run."""
+
+    history: TrainingHistory
+    exposure: ExposureReport | None
+    accuracy: AccuracyReport | None
+    item_factors: np.ndarray
+    user_factors: np.ndarray
+
+    @property
+    def final_er_at_5(self) -> float:
+        """ER@5 at the end of training (0 when no targets were configured)."""
+        return self.exposure.er_at_5 if self.exposure else 0.0
+
+    @property
+    def final_er_at_10(self) -> float:
+        """ER@10 at the end of training."""
+        return self.exposure.er_at_10 if self.exposure else 0.0
+
+    @property
+    def final_hr_at_10(self) -> float:
+        """HR@10 at the end of training."""
+        return self.accuracy.hr_at_10 if self.accuracy else 0.0
+
+
+class FederatedSimulation:
+    """Simulates federated training of the recommender, optionally under attack."""
+
+    def __init__(
+        self,
+        train: InteractionDataset,
+        config: FederatedConfig,
+        test_items: np.ndarray | None = None,
+        target_items: np.ndarray | None = None,
+        attack: "Attack | None" = None,
+        num_malicious: int = 0,
+        seed: int | SeedSequenceFactory = 0,
+        evaluate_every: int | None = None,
+        eval_num_negatives: int | None = 99,
+        update_observer: UpdateObserver | None = None,
+    ) -> None:
+        config.validate()
+        if num_malicious < 0:
+            raise FederationError("num_malicious must be non-negative")
+        if attack is not None and num_malicious == 0:
+            raise FederationError("an attack requires at least one malicious client")
+
+        self.train = train
+        self.config = config
+        self.test_items = test_items
+        self.target_items = (
+            None if target_items is None else np.asarray(target_items, dtype=np.int64)
+        )
+        self.attack = attack
+        self.num_malicious = int(num_malicious)
+        self.evaluate_every = evaluate_every
+        self.eval_num_negatives = eval_num_negatives
+        self.update_observer = update_observer
+
+        self._seeds = seed if isinstance(seed, SeedSequenceFactory) else SeedSequenceFactory(seed)
+        self._round_index = 0
+        self._schedule_rng = self._seeds.generator("schedule")
+        self._eval_rng = self._seeds.generator("evaluation")
+
+        self.server = Server(train.num_items, config, rng=self._seeds.generator("server"))
+        self.privacy = GaussianNoiseMechanism(
+            noise_scale=config.noise_scale,
+            clip_norm=config.clip_norm,
+            clip_before_noise=config.clip_benign_gradients,
+            rng=self._seeds.generator("privacy"),
+        )
+        self.benign_clients = self._build_benign_clients()
+        self.malicious_clients = self._build_malicious_clients()
+        self._all_client_ids = np.array(
+            sorted(self.benign_clients) + sorted(self.malicious_clients), dtype=np.int64
+        )
+        self._setup_attack()
+
+    # ------------------------------------------------------------------ #
+    # Construction helpers
+    # ------------------------------------------------------------------ #
+    def _build_benign_clients(self) -> dict[int, BenignClient]:
+        clients: dict[int, BenignClient] = {}
+        client_rngs = self._seeds.generator("benign-clients")
+        seeds = client_rngs.integers(0, 2**62, size=self.train.num_users)
+        for user in range(self.train.num_users):
+            clients[user] = BenignClient(
+                client_id=user,
+                positives=self.train.positive_items(user),
+                num_items=self.train.num_items,
+                num_factors=self.config.num_factors,
+                learning_rate=self.config.learning_rate,
+                init_scale=self.config.init_scale,
+                l2_reg=self.config.l2_reg,
+                resample_negatives=self.config.resample_negatives_each_epoch,
+                rng=int(seeds[user]),
+            )
+        return clients
+
+    def _build_malicious_clients(self) -> dict[int, MaliciousClient]:
+        clients: dict[int, MaliciousClient] = {}
+        client_rngs = self._seeds.generator("malicious-clients")
+        seeds = client_rngs.integers(0, 2**62, size=max(self.num_malicious, 1))
+        for index in range(self.num_malicious):
+            client_id = self.train.num_users + index
+            clients[client_id] = MaliciousClient(
+                client_id=client_id,
+                num_items=self.train.num_items,
+                num_factors=self.config.num_factors,
+                learning_rate=self.config.learning_rate,
+                init_scale=self.config.init_scale,
+                l2_reg=self.config.l2_reg,
+                rng=int(seeds[index]),
+            )
+        return clients
+
+    def _setup_attack(self) -> None:
+        if self.attack is None:
+            return
+        if self.target_items is None:
+            raise FederationError("an attack requires target_items")
+        from repro.attacks.base import AttackContext  # local import avoids a cycle
+
+        context = AttackContext(
+            num_items=self.train.num_items,
+            num_factors=self.config.num_factors,
+            target_items=self.target_items,
+            malicious_client_ids=sorted(self.malicious_clients),
+            learning_rate=self.config.learning_rate,
+            clip_norm=self.config.clip_norm,
+            item_popularity=self.train.item_popularity,
+            full_train=self.train,
+            rng=self._seeds.generator("attack"),
+        )
+        self.attack.setup(context, self.malicious_clients)
+
+    # ------------------------------------------------------------------ #
+    # Training loop
+    # ------------------------------------------------------------------ #
+    def run(self, num_epochs: int | None = None) -> SimulationResult:
+        """Run federated training and return the final metrics and model."""
+        epochs = self.config.num_epochs if num_epochs is None else int(num_epochs)
+        if epochs <= 0:
+            raise FederationError("num_epochs must be positive")
+        evaluate_every = self.evaluate_every or max(1, epochs // 10)
+        history = TrainingHistory()
+
+        for epoch in range(1, epochs + 1):
+            epoch_loss = self._run_epoch()
+            should_evaluate = epoch % evaluate_every == 0 or epoch == epochs
+            accuracy = self._evaluate_accuracy() if should_evaluate else None
+            exposure = self._evaluate_exposure() if should_evaluate else None
+            history.append(
+                EpochRecord(
+                    epoch=epoch,
+                    training_loss=epoch_loss,
+                    accuracy=accuracy,
+                    exposure=exposure,
+                )
+            )
+
+        return SimulationResult(
+            history=history,
+            exposure=history.final_exposure(),
+            accuracy=history.final_accuracy(),
+            item_factors=self.server.item_factors.copy(),
+            user_factors=self.gather_user_factors(),
+        )
+
+    def _run_epoch(self) -> float:
+        """One pass over all clients in random batches; returns the benign loss."""
+        order = self._schedule_rng.permutation(self._all_client_ids)
+        epoch_loss = 0.0
+        batch_size = self.config.clients_per_round
+        for start in range(0, order.shape[0], batch_size):
+            batch = order[start : start + batch_size]
+            epoch_loss += self._run_round(batch)
+        return epoch_loss
+
+    def _run_round(self, batch: np.ndarray) -> float:
+        """One aggregation round over the selected ``batch`` of clients."""
+        selected_malicious = [int(cid) for cid in batch if int(cid) in self.malicious_clients]
+        if self.attack is not None and selected_malicious:
+            self.attack.on_round_start(
+                self._round_index,
+                self.server.item_factors,
+                self.server.scorer,
+                selected_malicious,
+            )
+
+        updates: list[ClientUpdate] = []
+        round_loss = 0.0
+        for cid in batch:
+            cid = int(cid)
+            if cid in self.benign_clients:
+                update = self.benign_clients[cid].local_train(
+                    self.server.item_factors, self.server.scorer
+                )
+                round_loss += update.loss
+                update = self.privacy.apply(update)
+            else:
+                if self.attack is None:
+                    continue
+                update = self.attack.craft_update(
+                    self.malicious_clients[cid],
+                    self.server.item_factors,
+                    self.server.scorer,
+                    self._round_index,
+                )
+            if update is not None:
+                updates.append(update)
+
+        if self.update_observer is not None:
+            self.update_observer(self._round_index, updates)
+        self.server.apply_round(updates)
+        self._round_index += 1
+        return round_loss
+
+    # ------------------------------------------------------------------ #
+    # Evaluation
+    # ------------------------------------------------------------------ #
+    def gather_user_factors(self) -> np.ndarray:
+        """Benign users' private vectors stacked into a matrix (analysis only)."""
+        return np.stack(
+            [self.benign_clients[user].user_vector for user in range(self.train.num_users)]
+        )
+
+    def score_function(self) -> Callable[[int], np.ndarray]:
+        """Return a function mapping a benign user id to its full score vector."""
+        item_factors = self.server.item_factors
+        scorer = self.server.scorer
+        if scorer is None:
+            user_factors = self.gather_user_factors()
+            scores = user_factors @ item_factors.T
+            return lambda user: scores[user]
+
+        def score(user: int) -> np.ndarray:
+            user_vector = self.benign_clients[user].user_vector
+            batch = np.tile(user_vector, (item_factors.shape[0], 1))
+            return scorer.score(batch, item_factors)
+
+        return score
+
+    def _evaluate_accuracy(self) -> AccuracyReport | None:
+        if self.test_items is None:
+            return None
+        return evaluate_accuracy(
+            self.score_function(),
+            self.train,
+            self.test_items,
+            k=10,
+            num_negatives=self.eval_num_negatives,
+            rng=self._eval_rng,
+        )
+
+    def _evaluate_exposure(self) -> ExposureReport | None:
+        if self.target_items is None:
+            return None
+        return evaluate_exposure(self.score_function(), self.train, self.target_items)

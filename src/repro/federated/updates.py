@@ -1,0 +1,95 @@
+"""Client update container.
+
+Each selected client uploads the gradients of the shared parameters: a
+sparse set of item-embedding gradient rows (only the rows of items the client
+touched are non-zero, which is what the paper's ``kappa`` constraint counts)
+plus, when the interaction function is learnable, a dense gradient of
+``Theta``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.exceptions import FederationError
+
+__all__ = ["ClientUpdate"]
+
+
+@dataclass
+class ClientUpdate:
+    """Gradients uploaded by one client in one round.
+
+    Attributes
+    ----------
+    client_id:
+        Id of the uploading client.
+    item_ids:
+        Ids of the items whose embedding rows carry non-zero gradient.
+    item_gradients:
+        The gradient rows aligned with ``item_ids``, shape ``(len, k)``.
+    theta_gradient:
+        Flat gradient of the shared interaction-function parameters, or
+        ``None`` for plain MF.
+    loss:
+        The client's local training loss (used for the Figure 3 curves).
+    is_malicious:
+        Whether the upload came from an attacker-controlled client.  The
+        server never reads this flag (it is metadata for analysis/defense
+        evaluation only).
+    """
+
+    client_id: int
+    item_ids: np.ndarray
+    item_gradients: np.ndarray
+    theta_gradient: np.ndarray | None = None
+    loss: float = 0.0
+    is_malicious: bool = False
+    metadata: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.item_ids = np.asarray(self.item_ids, dtype=np.int64)
+        self.item_gradients = np.asarray(self.item_gradients, dtype=np.float64)
+        if self.item_ids.ndim != 1:
+            raise FederationError("item_ids must be a 1-D array")
+        if self.item_gradients.ndim != 2 or self.item_gradients.shape[0] != self.item_ids.shape[0]:
+            raise FederationError(
+                "item_gradients must have one row per item id, got "
+                f"{self.item_gradients.shape} for {self.item_ids.shape[0]} ids"
+            )
+
+    @property
+    def num_nonzero_rows(self) -> int:
+        """Number of item rows carrying a non-zero gradient."""
+        if self.item_gradients.size == 0:
+            return 0
+        norms = np.linalg.norm(self.item_gradients, axis=1)
+        return int(np.sum(norms > 0.0))
+
+    @property
+    def max_row_norm(self) -> float:
+        """Largest L2 norm among the uploaded gradient rows."""
+        if self.item_gradients.size == 0:
+            return 0.0
+        return float(np.max(np.linalg.norm(self.item_gradients, axis=1)))
+
+    def to_dense(self, num_items: int, num_factors: int) -> np.ndarray:
+        """Scatter the sparse rows into a dense ``(num_items, k)`` gradient."""
+        dense = np.zeros((num_items, num_factors), dtype=np.float64)
+        if self.item_ids.shape[0] > 0:
+            np.add.at(dense, self.item_ids, self.item_gradients)
+        return dense
+
+    def copy(self) -> "ClientUpdate":
+        """Deep copy of the update."""
+        return ClientUpdate(
+            client_id=self.client_id,
+            item_ids=self.item_ids.copy(),
+            item_gradients=self.item_gradients.copy(),
+            theta_gradient=None if self.theta_gradient is None else self.theta_gradient.copy(),
+            loss=self.loss,
+            is_malicious=self.is_malicious,
+            metadata=dict(self.metadata),
+        )

@@ -1,0 +1,154 @@
+"""Recommendation-accuracy metrics: HR@K and NDCG@K (leave-one-out).
+
+These measure the *side effects* of an attack (Figure 3, Table VIII): a
+stealthy attack must leave the hit ratio of held-out test items essentially
+unchanged.  Both a full-ranking protocol and the common sampled protocol
+(rank the test item against ``num_negatives`` sampled negatives, as in the
+NCF paper the authors follow) are supported.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.data.dataset import InteractionDataset
+from repro.exceptions import ModelError
+from repro.rng import ensure_rng
+
+__all__ = ["AccuracyReport", "hit_ratio_at_k", "ndcg_at_k_leave_one_out", "evaluate_accuracy"]
+
+ScoreFunction = Callable[[int], np.ndarray]
+
+
+@dataclass(frozen=True)
+class AccuracyReport:
+    """Leave-one-out recommendation accuracy of one model snapshot."""
+
+    hr_at_10: float
+    ndcg_at_10: float
+    num_evaluated_users: int
+
+    def as_dict(self) -> dict[str, float]:
+        """The metrics as a plain dictionary."""
+        return {"HR@10": self.hr_at_10, "NDCG@10": self.ndcg_at_10}
+
+
+def hit_ratio_at_k(
+    score_fn: ScoreFunction,
+    train: InteractionDataset,
+    test_items: np.ndarray,
+    k: int = 10,
+    num_negatives: int | None = 99,
+    rng: np.random.Generator | int | None = None,
+) -> float:
+    """HR@k: fraction of users whose held-out item ranks in the top ``k``."""
+    hits, _, count = _ranking_pass(score_fn, train, test_items, k, num_negatives, rng)
+    return hits / count if count else 0.0
+
+
+def ndcg_at_k_leave_one_out(
+    score_fn: ScoreFunction,
+    train: InteractionDataset,
+    test_items: np.ndarray,
+    k: int = 10,
+    num_negatives: int | None = 99,
+    rng: np.random.Generator | int | None = None,
+) -> float:
+    """NDCG@k of the single held-out item per user."""
+    _, ndcg_sum, count = _ranking_pass(score_fn, train, test_items, k, num_negatives, rng)
+    return ndcg_sum / count if count else 0.0
+
+
+def evaluate_accuracy(
+    score_fn: ScoreFunction,
+    train: InteractionDataset,
+    test_items: np.ndarray,
+    k: int = 10,
+    num_negatives: int | None = 99,
+    rng: np.random.Generator | int | None = None,
+) -> AccuracyReport:
+    """HR@k and NDCG@k in a single ranking pass."""
+    hits, ndcg_sum, count = _ranking_pass(score_fn, train, test_items, k, num_negatives, rng)
+    return AccuracyReport(
+        hr_at_10=hits / count if count else 0.0,
+        ndcg_at_10=ndcg_sum / count if count else 0.0,
+        num_evaluated_users=count,
+    )
+
+
+def _ranking_pass(
+    score_fn: ScoreFunction,
+    train: InteractionDataset,
+    test_items: np.ndarray,
+    k: int,
+    num_negatives: int | None,
+    rng: np.random.Generator | int | None,
+) -> tuple[float, float, int]:
+    """Shared evaluation loop returning (hit count, NDCG sum, user count)."""
+    if k <= 0:
+        raise ModelError(f"k must be positive, got {k}")
+    test_items = np.asarray(test_items, dtype=np.int64)
+    if test_items.shape[0] != train.num_users:
+        raise ModelError(
+            "test_items must have one entry per user "
+            f"({train.num_users}), got {test_items.shape[0]}"
+        )
+    generator = ensure_rng(rng)
+    hits = 0.0
+    ndcg_sum = 0.0
+    count = 0
+    for user in range(train.num_users):
+        test_item = int(test_items[user])
+        if test_item < 0:
+            continue
+        scores = score_fn(user)
+        positives = train.positive_items(user)
+        if num_negatives is None:
+            rank = _full_rank(scores, test_item, positives)
+        else:
+            rank = _sampled_rank(scores, test_item, positives, num_negatives, generator, train.num_items)
+        count += 1
+        if rank <= k:
+            hits += 1.0
+            ndcg_sum += 1.0 / np.log2(rank + 1.0)
+    return hits, ndcg_sum, count
+
+
+def _full_rank(scores: np.ndarray, test_item: int, positives: np.ndarray) -> int:
+    """Rank of the test item against every non-interacted item."""
+    masked = scores.astype(np.float64, copy=True)
+    if positives.shape[0] > 0:
+        masked[positives] = -np.inf
+    test_score = scores[test_item]
+    return 1 + int(np.sum(masked > test_score))
+
+
+def _sampled_rank(
+    scores: np.ndarray,
+    test_item: int,
+    positives: np.ndarray,
+    num_negatives: int,
+    rng: np.random.Generator,
+    num_items: int,
+) -> int:
+    """Rank of the test item against ``num_negatives`` sampled negatives."""
+    positive_mask = np.zeros(num_items, dtype=bool)
+    positive_mask[positives] = True
+    positive_mask[test_item] = True
+    negatives: list[int] = []
+    while len(negatives) < num_negatives:
+        draws = rng.integers(0, num_items, size=2 * (num_negatives - len(negatives)))
+        for item in draws:
+            item = int(item)
+            if not positive_mask[item]:
+                negatives.append(item)
+                if len(negatives) == num_negatives:
+                    break
+        if np.all(positive_mask):
+            break
+    candidate_scores = scores[np.asarray(negatives, dtype=np.int64)] if negatives else np.empty(0)
+    test_score = scores[test_item]
+    return 1 + int(np.sum(candidate_scores > test_score))

@@ -1,0 +1,141 @@
+"""Attack-effectiveness metrics: exposure ratio and target-item NDCG.
+
+The exposure ratio at K (Eq. 8) measures, averaged over users, the fraction
+of not-yet-interacted target items that appear in the user's top-K
+recommendation list.  NDCG@K of the target items additionally rewards higher
+ranks, as in the paper's evaluation (Section V-A).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.data.dataset import InteractionDataset
+from repro.exceptions import ModelError
+from repro.metrics.ranking import dcg_from_ranks, rank_of_items, top_k_items
+
+__all__ = ["ExposureReport", "exposure_ratio_at_k", "target_ndcg_at_k", "evaluate_exposure"]
+
+ScoreFunction = Callable[[int], np.ndarray]
+
+
+@dataclass(frozen=True)
+class ExposureReport:
+    """Attack-effectiveness metrics for one model snapshot.
+
+    Attributes mirror the columns the paper reports: ``er_at_5``,
+    ``er_at_10`` (Eq. 8) and ``ndcg_at_10`` of the target items.
+    """
+
+    er_at_5: float
+    er_at_10: float
+    ndcg_at_10: float
+
+    def as_dict(self) -> dict[str, float]:
+        """The metrics as a plain dictionary (used by the reporting layer)."""
+        return {
+            "ER@5": self.er_at_5,
+            "ER@10": self.er_at_10,
+            "NDCG@10": self.ndcg_at_10,
+        }
+
+
+def exposure_ratio_at_k(
+    score_fn: ScoreFunction,
+    train: InteractionDataset,
+    target_items: np.ndarray,
+    k: int,
+    users: np.ndarray | None = None,
+) -> float:
+    """Exposure ratio at ``k`` of the target items (Eq. 8).
+
+    Parameters
+    ----------
+    score_fn:
+        Maps a user id to that user's full predicted-score vector.
+    train:
+        Training interactions; recommendations are drawn from the items each
+        user has not interacted with (``V-_i``).
+    target_items:
+        The attacker's target item ids ``V^tar``.
+    k:
+        Length of the recommendation list.
+    users:
+        Users to average over (defaults to every user).
+    """
+    target_items = _validate_targets(target_items, train.num_items)
+    user_ids = np.arange(train.num_users) if users is None else np.asarray(users, dtype=np.int64)
+    ratios: list[float] = []
+    target_set = set(int(t) for t in target_items)
+    for user in user_ids:
+        positives = train.positive_items(int(user))
+        uninteracted_targets = [t for t in target_items if not _contains(positives, int(t))]
+        if not uninteracted_targets:
+            continue
+        scores = score_fn(int(user))
+        recommended = top_k_items(scores, k, exclude=positives)
+        hits = sum(1 for item in recommended if int(item) in target_set)
+        ratios.append(hits / len(uninteracted_targets))
+    if not ratios:
+        return 0.0
+    return float(np.mean(ratios))
+
+
+def target_ndcg_at_k(
+    score_fn: ScoreFunction,
+    train: InteractionDataset,
+    target_items: np.ndarray,
+    k: int,
+    users: np.ndarray | None = None,
+) -> float:
+    """NDCG@k of the target items within users' recommendation lists."""
+    target_items = _validate_targets(target_items, train.num_items)
+    user_ids = np.arange(train.num_users) if users is None else np.asarray(users, dtype=np.int64)
+    ndcgs: list[float] = []
+    for user in user_ids:
+        positives = train.positive_items(int(user))
+        uninteracted_targets = np.array(
+            [t for t in target_items if not _contains(positives, int(t))], dtype=np.int64
+        )
+        if uninteracted_targets.shape[0] == 0:
+            continue
+        scores = score_fn(int(user))
+        ranks = rank_of_items(scores, uninteracted_targets, exclude=positives)
+        dcg = dcg_from_ranks(ranks, k)
+        ideal_count = min(uninteracted_targets.shape[0], k)
+        idcg = float(np.sum(1.0 / np.log2(np.arange(1, ideal_count + 1) + 1.0)))
+        ndcgs.append(dcg / idcg if idcg > 0 else 0.0)
+    if not ndcgs:
+        return 0.0
+    return float(np.mean(ndcgs))
+
+
+def evaluate_exposure(
+    score_fn: ScoreFunction,
+    train: InteractionDataset,
+    target_items: np.ndarray,
+    users: np.ndarray | None = None,
+) -> ExposureReport:
+    """Compute the paper's three attack metrics in one pass-friendly call."""
+    return ExposureReport(
+        er_at_5=exposure_ratio_at_k(score_fn, train, target_items, 5, users),
+        er_at_10=exposure_ratio_at_k(score_fn, train, target_items, 10, users),
+        ndcg_at_10=target_ndcg_at_k(score_fn, train, target_items, 10, users),
+    )
+
+
+def _validate_targets(target_items: np.ndarray, num_items: int) -> np.ndarray:
+    target_items = np.asarray(target_items, dtype=np.int64)
+    if target_items.ndim != 1 or target_items.shape[0] == 0:
+        raise ModelError("target_items must be a non-empty 1-D array")
+    if target_items.min() < 0 or target_items.max() >= num_items:
+        raise ModelError("target item id out of range")
+    return target_items
+
+
+def _contains(sorted_items: np.ndarray, item: int) -> bool:
+    idx = np.searchsorted(sorted_items, item)
+    return bool(idx < sorted_items.shape[0] and sorted_items[idx] == item)

@@ -1,0 +1,55 @@
+"""Ranking utilities shared by the evaluation metrics."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ModelError
+
+__all__ = ["top_k_items", "rank_of_items", "dcg_from_ranks"]
+
+
+def top_k_items(scores: np.ndarray, k: int, exclude: np.ndarray | None = None) -> np.ndarray:
+    """Indices of the ``k`` highest scores, optionally masking ``exclude``.
+
+    Ties are broken deterministically by index order so results are
+    reproducible across runs.
+    """
+    if k <= 0:
+        raise ModelError(f"k must be positive, got {k}")
+    scores = np.asarray(scores, dtype=np.float64).copy()
+    if exclude is not None and len(exclude) > 0:
+        scores[np.asarray(exclude, dtype=np.int64)] = -np.inf
+    k = min(k, scores.shape[0])
+    top = np.argpartition(-scores, k - 1)[:k]
+    return top[np.argsort(-scores[top], kind="stable")]
+
+
+def rank_of_items(
+    scores: np.ndarray, items: np.ndarray, exclude: np.ndarray | None = None
+) -> np.ndarray:
+    """1-based rank of each requested item within the (masked) score vector.
+
+    Items that are themselves excluded get rank ``len(scores) + 1``.
+    """
+    scores = np.asarray(scores, dtype=np.float64).copy()
+    items = np.asarray(items, dtype=np.int64)
+    if exclude is not None and len(exclude) > 0:
+        scores[np.asarray(exclude, dtype=np.int64)] = -np.inf
+    ranks = np.empty(items.shape[0], dtype=np.int64)
+    for position, item in enumerate(items):
+        item_score = scores[item]
+        if not np.isfinite(item_score):
+            ranks[position] = scores.shape[0] + 1
+            continue
+        ranks[position] = 1 + int(np.sum(scores > item_score))
+    return ranks
+
+
+def dcg_from_ranks(ranks: np.ndarray, k: int) -> float:
+    """Discounted cumulative gain of binary-relevant items at given ranks."""
+    ranks = np.asarray(ranks, dtype=np.float64)
+    in_list = ranks <= k
+    if not np.any(in_list):
+        return 0.0
+    return float(np.sum(1.0 / np.log2(ranks[in_list] + 1.0)))

@@ -1,0 +1,153 @@
+"""Bayesian Personalized Ranking loss and its analytic gradients.
+
+The base recommender is trained by minimising, per user,
+
+    L_rec_i = - sum_{(j, k) in V_i}  ln sigma(x_ij - x_ik)        (Eq. 4)
+
+where ``x_ij = u_i . v_j`` for matrix factorization.  The gradients used by
+both benign clients and the attacker's user-matrix approximation are
+
+    dL/du_i = - sum  sigma(-x_ijk) (v_j - v_k)
+    dL/dv_j = - sigma(-x_ijk) u_i          (positive item)
+    dL/dv_k = + sigma(-x_ijk) u_i          (negative item)
+
+These closed forms are what a PyTorch autograd implementation would compute;
+tests cross-check them against finite differences.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import ModelError
+
+__all__ = ["sigmoid", "bpr_loss", "bpr_loss_and_gradients", "BPRGradients"]
+
+
+def sigmoid(x: np.ndarray | float) -> np.ndarray | float:
+    """Numerically stable logistic sigmoid."""
+    return 0.5 * (1.0 + np.tanh(0.5 * np.asarray(x, dtype=np.float64)))
+
+
+def _log_sigmoid(x: np.ndarray) -> np.ndarray:
+    """Numerically stable ``log(sigmoid(x))``."""
+    x = np.asarray(x, dtype=np.float64)
+    return np.where(x >= 0, -np.log1p(np.exp(-x)), x - np.log1p(np.exp(x)))
+
+
+@dataclass(frozen=True)
+class BPRGradients:
+    """Gradients of the per-user BPR loss.
+
+    Attributes
+    ----------
+    loss:
+        Value of the loss ``L_rec_i``.
+    grad_user:
+        Gradient with respect to the user feature vector, shape ``(k,)``.
+    item_ids:
+        Ids of the items whose rows of ``V`` receive non-zero gradient
+        (the union of the positive and negative items, deduplicated).
+    grad_items:
+        Gradient rows aligned with ``item_ids``, shape ``(len(item_ids), k)``.
+    """
+
+    loss: float
+    grad_user: np.ndarray
+    item_ids: np.ndarray
+    grad_items: np.ndarray
+
+    def as_dense_item_gradient(self, num_items: int) -> np.ndarray:
+        """Scatter the item gradient rows into a dense ``(num_items, k)`` array."""
+        dense = np.zeros((num_items, self.grad_items.shape[1]), dtype=np.float64)
+        np.add.at(dense, self.item_ids, self.grad_items)
+        return dense
+
+
+def bpr_loss(
+    user_vector: np.ndarray,
+    item_factors: np.ndarray,
+    positives: np.ndarray,
+    negatives: np.ndarray,
+) -> float:
+    """Value of the per-user BPR loss for paired positives/negatives."""
+    positives, negatives = _validate_pairs(positives, negatives)
+    if positives.shape[0] == 0:
+        return 0.0
+    pos_scores = item_factors[positives] @ user_vector
+    neg_scores = item_factors[negatives] @ user_vector
+    return float(-np.sum(_log_sigmoid(pos_scores - neg_scores)))
+
+
+def bpr_loss_and_gradients(
+    user_vector: np.ndarray,
+    item_factors: np.ndarray,
+    positives: np.ndarray,
+    negatives: np.ndarray,
+    l2_reg: float = 0.0,
+) -> BPRGradients:
+    """Loss and gradients of the per-user BPR objective.
+
+    Parameters
+    ----------
+    user_vector:
+        The user's private feature vector ``u_i``, shape ``(k,)``.
+    item_factors:
+        The shared item matrix ``V``, shape ``(num_items, k)``.
+    positives, negatives:
+        Aligned arrays of positive / negative item ids (the pairs of Eq. 4).
+    l2_reg:
+        Optional L2 regularisation applied to the user vector and the touched
+        item rows.
+    """
+    positives, negatives = _validate_pairs(positives, negatives)
+    k = user_vector.shape[0]
+    if positives.shape[0] == 0:
+        return BPRGradients(
+            loss=0.0,
+            grad_user=np.zeros(k, dtype=np.float64),
+            item_ids=np.empty(0, dtype=np.int64),
+            grad_items=np.empty((0, k), dtype=np.float64),
+        )
+
+    pos_vectors = item_factors[positives]
+    neg_vectors = item_factors[negatives]
+    margins = (pos_vectors - neg_vectors) @ user_vector
+    loss = float(-np.sum(_log_sigmoid(margins)))
+    # d/dx of -ln sigma(x) is -(1 - sigma(x)) = -sigma(-x)
+    coefficients = -sigmoid(-margins)
+
+    grad_user = (coefficients[:, None] * (pos_vectors - neg_vectors)).sum(axis=0)
+    grad_pos = coefficients[:, None] * user_vector[None, :]
+    grad_neg = -coefficients[:, None] * user_vector[None, :]
+
+    item_ids = np.concatenate([positives, negatives])
+    grad_rows = np.concatenate([grad_pos, grad_neg], axis=0)
+    item_ids, grad_rows = _accumulate_rows(item_ids, grad_rows)
+
+    if l2_reg > 0.0:
+        loss += l2_reg * (float(user_vector @ user_vector) + float(np.sum(item_factors[item_ids] ** 2)))
+        grad_user = grad_user + 2.0 * l2_reg * user_vector
+        grad_rows = grad_rows + 2.0 * l2_reg * item_factors[item_ids]
+
+    return BPRGradients(loss=loss, grad_user=grad_user, item_ids=item_ids, grad_items=grad_rows)
+
+
+def _validate_pairs(positives: np.ndarray, negatives: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    positives = np.asarray(positives, dtype=np.int64)
+    negatives = np.asarray(negatives, dtype=np.int64)
+    if positives.shape != negatives.shape:
+        raise ModelError(
+            f"positives and negatives must be aligned, got shapes {positives.shape} and {negatives.shape}"
+        )
+    return positives, negatives
+
+
+def _accumulate_rows(item_ids: np.ndarray, rows: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Sum gradient rows belonging to the same item id."""
+    unique_ids, inverse = np.unique(item_ids, return_inverse=True)
+    accumulated = np.zeros((unique_ids.shape[0], rows.shape[1]), dtype=np.float64)
+    np.add.at(accumulated, inverse, rows)
+    return unique_ids, accumulated

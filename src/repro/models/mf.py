@@ -1,0 +1,120 @@
+"""Matrix-factorization recommender.
+
+The interaction function is the fixed dot product of Eq. (1):
+``x_ij = u_i . v_j``.  In the federated setting the server owns the item
+matrix ``V`` while every client keeps its own row of ``U``; this class is the
+parameter container plus the scoring/recommendation logic shared by both
+sides and by the attacker.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ModelError
+from repro.models.base import Recommender
+from repro.rng import ensure_rng
+
+__all__ = ["MatrixFactorizationModel"]
+
+
+class MatrixFactorizationModel(Recommender):
+    """MF model with explicit user and item factor matrices.
+
+    Parameters
+    ----------
+    num_users, num_items:
+        Sizes of the factor matrices.
+    num_factors:
+        Dimensionality ``k`` of the feature vectors (paper default 32).
+    init_scale:
+        Standard deviation of the Gaussian initialisation.
+    rng:
+        Randomness for initialisation.
+    """
+
+    def __init__(
+        self,
+        num_users: int,
+        num_items: int,
+        num_factors: int = 32,
+        init_scale: float = 0.01,
+        rng: np.random.Generator | int | None = None,
+    ) -> None:
+        if num_users <= 0 or num_items <= 0:
+            raise ModelError("num_users and num_items must be positive")
+        if num_factors <= 0:
+            raise ModelError("num_factors must be positive")
+        if init_scale <= 0:
+            raise ModelError("init_scale must be positive")
+        generator = ensure_rng(rng)
+        self._num_users = int(num_users)
+        self._num_items = int(num_items)
+        self._num_factors = int(num_factors)
+        self.user_factors = generator.normal(0.0, init_scale, size=(num_users, num_factors))
+        self.item_factors = generator.normal(0.0, init_scale, size=(num_items, num_factors))
+
+    # ------------------------------------------------------------------ #
+    # Recommender interface
+    # ------------------------------------------------------------------ #
+    @property
+    def num_users(self) -> int:
+        return self._num_users
+
+    @property
+    def num_items(self) -> int:
+        return self._num_items
+
+    @property
+    def num_factors(self) -> int:
+        return self._num_factors
+
+    def score_items(self, user_vector: np.ndarray, items: np.ndarray | None = None) -> np.ndarray:
+        """Predicted scores ``u . v_j`` for the requested items."""
+        user_vector = np.asarray(user_vector, dtype=np.float64)
+        if user_vector.shape != (self._num_factors,):
+            raise ModelError(
+                f"user_vector must have shape ({self._num_factors},), got {user_vector.shape}"
+            )
+        if items is None:
+            return self.item_factors @ user_vector
+        return self.item_factors[np.asarray(items, dtype=np.int64)] @ user_vector
+
+    # ------------------------------------------------------------------ #
+    # Convenience accessors
+    # ------------------------------------------------------------------ #
+    def score_user(self, user: int, items: np.ndarray | None = None) -> np.ndarray:
+        """Scores for the stored feature vector of ``user``."""
+        self._check_user(user)
+        return self.score_items(self.user_factors[user], items)
+
+    def score_matrix(self, users: np.ndarray | None = None) -> np.ndarray:
+        """Dense score matrix ``U V^T`` for the requested users."""
+        factors = self.user_factors if users is None else self.user_factors[np.asarray(users)]
+        return factors @ self.item_factors.T
+
+    def recommend_for_user(
+        self, user: int, k: int, exclude_items: np.ndarray | None = None
+    ) -> np.ndarray:
+        """Top-``k`` recommendation for a stored user."""
+        self._check_user(user)
+        return self.recommend(self.user_factors[user], k, exclude_items)
+
+    def copy(self) -> "MatrixFactorizationModel":
+        """Deep copy of the model (used to snapshot server state)."""
+        clone = MatrixFactorizationModel(
+            self._num_users, self._num_items, self._num_factors, rng=0
+        )
+        clone.user_factors = self.user_factors.copy()
+        clone.item_factors = self.item_factors.copy()
+        return clone
+
+    def _check_user(self, user: int) -> None:
+        if user < 0 or user >= self._num_users:
+            raise ModelError(f"user id {user} out of range [0, {self._num_users})")
+
+    def __repr__(self) -> str:
+        return (
+            f"MatrixFactorizationModel(users={self._num_users}, items={self._num_items}, "
+            f"factors={self._num_factors})"
+        )

@@ -1,0 +1,166 @@
+"""Learnable interaction function (a small MLP scorer).
+
+The paper notes (Section III-A/IV) that when the recommender is deep-learning
+based the interaction function ``Upsilon`` is learnable and its parameters
+``Theta`` are shared with the server alongside ``V``.  The main experiments
+use plain MF, but to demonstrate the claimed generality the library ships a
+compact two-layer MLP scorer with hand-derived gradients.  It consumes the
+concatenation ``[u_i, v_j]`` and outputs a scalar score.
+
+The scorer is deliberately small (one hidden layer, ReLU) — it exists to
+exercise the "shared Theta" code path of the federated protocol and the
+attacks, not to chase accuracy records.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import ModelError
+from repro.rng import ensure_rng
+
+__all__ = ["MLPScorer", "MLPScorerGradients"]
+
+
+@dataclass
+class MLPScorerGradients:
+    """Gradients of the scorer output with respect to its inputs and weights.
+
+    Attributes
+    ----------
+    grad_user:
+        ``d score / d u_i`` rows, shape ``(batch, k)``.
+    grad_item:
+        ``d score / d v_j`` rows, shape ``(batch, k)``.
+    grad_params:
+        Flat gradient with respect to the scorer parameters (``Theta``),
+        summed over the batch and scaled by the upstream gradient.
+    """
+
+    grad_user: np.ndarray
+    grad_item: np.ndarray
+    grad_params: np.ndarray
+
+
+class MLPScorer:
+    """Two-layer MLP interaction function ``score = w2 . relu(W1 [u; v] + b1) + b2``."""
+
+    def __init__(
+        self,
+        num_factors: int,
+        hidden_units: int = 32,
+        init_scale: float = 0.1,
+        rng: np.random.Generator | int | None = None,
+    ) -> None:
+        if num_factors <= 0 or hidden_units <= 0:
+            raise ModelError("num_factors and hidden_units must be positive")
+        generator = ensure_rng(rng)
+        self.num_factors = int(num_factors)
+        self.hidden_units = int(hidden_units)
+        input_dim = 2 * num_factors
+        self.w1 = generator.normal(0.0, init_scale, size=(hidden_units, input_dim))
+        self.b1 = np.zeros(hidden_units, dtype=np.float64)
+        self.w2 = generator.normal(0.0, init_scale, size=hidden_units)
+        self.b2 = 0.0
+
+    # ------------------------------------------------------------------ #
+    # Parameter (Theta) flattening — what gets shared with the server
+    # ------------------------------------------------------------------ #
+    @property
+    def num_parameters(self) -> int:
+        """Total number of scalar parameters in ``Theta``."""
+        return self.w1.size + self.b1.size + self.w2.size + 1
+
+    def get_parameters(self) -> np.ndarray:
+        """Flatten ``Theta`` into a single vector (server representation)."""
+        return np.concatenate([self.w1.ravel(), self.b1, self.w2, [self.b2]])
+
+    def set_parameters(self, flat: np.ndarray) -> None:
+        """Load ``Theta`` from a flat vector."""
+        flat = np.asarray(flat, dtype=np.float64)
+        if flat.shape != (self.num_parameters,):
+            raise ModelError(
+                f"expected {self.num_parameters} parameters, got shape {flat.shape}"
+            )
+        w1_size = self.w1.size
+        b1_size = self.b1.size
+        w2_size = self.w2.size
+        self.w1 = flat[:w1_size].reshape(self.w1.shape).copy()
+        self.b1 = flat[w1_size : w1_size + b1_size].copy()
+        self.w2 = flat[w1_size + b1_size : w1_size + b1_size + w2_size].copy()
+        self.b2 = float(flat[-1])
+
+    def copy(self) -> "MLPScorer":
+        """Deep copy of the scorer."""
+        clone = MLPScorer(self.num_factors, self.hidden_units, rng=0)
+        clone.set_parameters(self.get_parameters())
+        return clone
+
+    # ------------------------------------------------------------------ #
+    # Forward / backward
+    # ------------------------------------------------------------------ #
+    def score(self, user_vectors: np.ndarray, item_vectors: np.ndarray) -> np.ndarray:
+        """Scores for aligned batches of user and item vectors."""
+        user_vectors, item_vectors = self._validate_batch(user_vectors, item_vectors)
+        hidden = self._hidden(user_vectors, item_vectors)
+        return hidden @ self.w2 + self.b2
+
+    def score_and_gradients(
+        self,
+        user_vectors: np.ndarray,
+        item_vectors: np.ndarray,
+        upstream: np.ndarray | None = None,
+    ) -> tuple[np.ndarray, MLPScorerGradients]:
+        """Scores plus gradients with respect to inputs and parameters.
+
+        ``upstream`` is ``d loss / d score`` per batch element (defaults to
+        ones, i.e. the Jacobian of the raw scores).
+        """
+        user_vectors, item_vectors = self._validate_batch(user_vectors, item_vectors)
+        inputs = np.concatenate([user_vectors, item_vectors], axis=1)
+        pre_activation = inputs @ self.w1.T + self.b1
+        hidden = np.maximum(pre_activation, 0.0)
+        scores = hidden @ self.w2 + self.b2
+
+        if upstream is None:
+            upstream = np.ones(scores.shape[0], dtype=np.float64)
+        upstream = np.asarray(upstream, dtype=np.float64)
+
+        relu_mask = (pre_activation > 0.0).astype(np.float64)
+        # d score / d hidden = w2 ; back through ReLU and W1.
+        grad_hidden = upstream[:, None] * self.w2[None, :] * relu_mask
+        grad_inputs = grad_hidden @ self.w1
+        grad_user = grad_inputs[:, : self.num_factors]
+        grad_item = grad_inputs[:, self.num_factors :]
+
+        grad_w1 = grad_hidden.T @ inputs
+        grad_b1 = grad_hidden.sum(axis=0)
+        grad_w2 = hidden.T @ upstream
+        grad_b2 = float(upstream.sum())
+        grad_params = np.concatenate([grad_w1.ravel(), grad_b1, grad_w2, [grad_b2]])
+
+        return scores, MLPScorerGradients(
+            grad_user=grad_user, grad_item=grad_item, grad_params=grad_params
+        )
+
+    def _hidden(self, user_vectors: np.ndarray, item_vectors: np.ndarray) -> np.ndarray:
+        inputs = np.concatenate([user_vectors, item_vectors], axis=1)
+        return np.maximum(inputs @ self.w1.T + self.b1, 0.0)
+
+    def _validate_batch(
+        self, user_vectors: np.ndarray, item_vectors: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        user_vectors = np.atleast_2d(np.asarray(user_vectors, dtype=np.float64))
+        item_vectors = np.atleast_2d(np.asarray(item_vectors, dtype=np.float64))
+        if user_vectors.shape != item_vectors.shape:
+            raise ModelError(
+                "user_vectors and item_vectors must have matching shapes, got "
+                f"{user_vectors.shape} and {item_vectors.shape}"
+            )
+        if user_vectors.shape[1] != self.num_factors:
+            raise ModelError(
+                f"expected feature dimension {self.num_factors}, got {user_vectors.shape[1]}"
+            )
+        return user_vectors, item_vectors

@@ -1,0 +1,95 @@
+"""Shared fixtures for the test suite.
+
+Fixtures build a small but realistic synthetic dataset (power-law popularity,
+log-normal activity) plus the derived artefacts most tests need: the
+leave-one-out split, public interactions, target items and a tiny federated
+configuration that trains in well under a second.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.dataset import InteractionDataset
+from repro.data.public import sample_public_interactions
+from repro.data.splits import leave_one_out_split
+from repro.data.synthetic import SyntheticConfig, generate_synthetic_dataset
+from repro.federated.config import FederatedConfig
+from repro.rng import SeedSequenceFactory
+
+
+@pytest.fixture(scope="session")
+def seeds() -> SeedSequenceFactory:
+    """Session-wide seed factory so fixtures are reproducible."""
+    return SeedSequenceFactory(12345)
+
+
+@pytest.fixture(scope="session")
+def small_dataset(seeds: SeedSequenceFactory) -> InteractionDataset:
+    """A small synthetic dataset (80 users, 120 items, ~10 interactions/user)."""
+    config = SyntheticConfig(
+        num_users=80,
+        num_items=120,
+        num_interactions=800,
+        popularity_exponent=0.9,
+        activity_sigma=0.9,
+        name="test-small",
+    )
+    return generate_synthetic_dataset(config, seeds.generator("small-dataset"))
+
+
+@pytest.fixture(scope="session")
+def tiny_dataset(seeds: SeedSequenceFactory) -> InteractionDataset:
+    """A tiny handcrafted dataset with known interactions."""
+    interactions = np.array(
+        [
+            [0, 0], [0, 1], [0, 2],
+            [1, 1], [1, 3],
+            [2, 0], [2, 4], [2, 5],
+            [3, 2], [3, 3], [3, 4],
+            [4, 5], [4, 0],
+        ],
+        dtype=np.int64,
+    )
+    return InteractionDataset(5, 6, interactions, name="tiny")
+
+
+@pytest.fixture(scope="session")
+def small_split(small_dataset, seeds):
+    """Leave-one-out split of the small dataset."""
+    return leave_one_out_split(small_dataset, rng=seeds.generator("small-split"))
+
+
+@pytest.fixture(scope="session")
+def small_public(small_split, seeds):
+    """Public interactions (xi = 10%) of the small training set."""
+    return sample_public_interactions(
+        small_split.train, xi=0.10, rng=seeds.generator("small-public")
+    )
+
+
+@pytest.fixture(scope="session")
+def small_targets(small_split, seeds) -> np.ndarray:
+    """Two unpopular target items of the small training set."""
+    popularity = small_split.train.item_popularity
+    order = np.argsort(popularity, kind="stable")
+    return np.sort(order[:2].astype(np.int64))
+
+
+@pytest.fixture()
+def fast_federated_config() -> FederatedConfig:
+    """A federated configuration that trains in a fraction of a second."""
+    return FederatedConfig(
+        num_factors=8,
+        learning_rate=0.05,
+        clients_per_round=32,
+        num_epochs=3,
+        clip_norm=1.0,
+    )
+
+
+@pytest.fixture()
+def rng() -> np.random.Generator:
+    """A fresh deterministic generator for individual tests."""
+    return np.random.default_rng(7)

@@ -1,0 +1,135 @@
+"""Tests for the gradient-anomaly detectors and the detection report."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.defenses.detectors import (
+    DetectionReport,
+    GradientNormDetector,
+    NonZeroRowCountDetector,
+    TargetConcentrationDetector,
+    evaluate_detector,
+)
+from repro.exceptions import ConfigurationError
+from repro.federated.updates import ClientUpdate
+
+
+def _update(rows, malicious=False, client_id=0):
+    rows = np.asarray(rows, dtype=np.float64)
+    return ClientUpdate(
+        client_id=client_id,
+        item_ids=np.arange(rows.shape[0]),
+        item_gradients=rows,
+        is_malicious=malicious,
+    )
+
+
+def _benign_round(rng, count=8, rows=6, factors=4):
+    return [
+        _update(rng.normal(scale=0.1, size=(rows, factors)), malicious=False, client_id=i)
+        for i in range(count)
+    ]
+
+
+class TestDetectionReport:
+    def test_precision_recall(self):
+        report = DetectionReport(true_positives=3, false_positives=1, false_negatives=2, true_negatives=10)
+        assert report.precision == pytest.approx(0.75)
+        assert report.recall == pytest.approx(0.6)
+        assert report.false_positive_rate == pytest.approx(1 / 11)
+
+    def test_zero_divisions_are_safe(self):
+        report = DetectionReport(0, 0, 0, 0)
+        assert report.precision == 0.0
+        assert report.recall == 0.0
+        assert report.false_positive_rate == 0.0
+
+
+class TestGradientNormDetector:
+    def test_flags_huge_upload(self, rng):
+        updates = _benign_round(rng)
+        updates.append(_update(np.full((6, 4), 50.0), malicious=True, client_id=99))
+        flags = GradientNormDetector(threshold=3.5).flag(updates)
+        assert flags[-1]
+        assert flags[:-1].sum() == 0
+
+    def test_uniform_round_not_flagged(self, rng):
+        updates = [_update(np.ones((3, 2))) for _ in range(5)]
+        flags = GradientNormDetector().flag(updates)
+        assert flags.sum() == 0
+
+    def test_empty_round(self):
+        assert GradientNormDetector().flag([]).shape == (0,)
+
+    def test_invalid_threshold(self):
+        with pytest.raises(ConfigurationError):
+            GradientNormDetector(threshold=0.0)
+
+
+class TestNonZeroRowCountDetector:
+    def test_flags_wide_upload(self, rng):
+        detector = NonZeroRowCountDetector(max_rows=10)
+        updates = [
+            _update(rng.normal(size=(5, 4))),
+            _update(rng.normal(size=(50, 4)), malicious=True),
+        ]
+        flags = detector.flag(updates)
+        np.testing.assert_array_equal(flags, [False, True])
+
+    def test_kappa_constrained_upload_evades(self, rng):
+        # An upload respecting kappa = 60 is indistinguishable by row count.
+        detector = NonZeroRowCountDetector(max_rows=200)
+        updates = [_update(rng.normal(size=(60, 4)), malicious=True)]
+        assert not detector.flag(updates)[0]
+
+    def test_invalid_max_rows(self):
+        with pytest.raises(ConfigurationError):
+            NonZeroRowCountDetector(max_rows=0)
+
+
+class TestTargetConcentrationDetector:
+    def test_flags_concentrated_upload(self, rng):
+        rows = rng.normal(scale=0.01, size=(20, 4))
+        rows[3] = 10.0
+        updates = [_update(rows, malicious=True)]
+        assert TargetConcentrationDetector(top_rows=1).flag(updates)[0]
+
+    def test_spread_upload_not_flagged(self, rng):
+        rows = rng.normal(scale=1.0, size=(20, 4))
+        updates = [_update(rows)]
+        assert not TargetConcentrationDetector(top_rows=1, concentration_threshold=0.9).flag(updates)[0]
+
+    def test_zero_upload_not_flagged(self):
+        updates = [_update(np.zeros((5, 4)))]
+        assert not TargetConcentrationDetector().flag(updates)[0]
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ConfigurationError):
+            TargetConcentrationDetector(top_rows=0)
+        with pytest.raises(ConfigurationError):
+            TargetConcentrationDetector(concentration_threshold=0.0)
+
+
+class TestEvaluateDetector:
+    def test_confusion_matrix_totals(self, rng):
+        rounds = []
+        for _ in range(3):
+            updates = _benign_round(rng, count=4)
+            updates.append(_update(np.full((6, 4), 30.0), malicious=True, client_id=50))
+            rounds.append(updates)
+        report = evaluate_detector(GradientNormDetector(), rounds)
+        total = (
+            report.true_positives
+            + report.false_positives
+            + report.false_negatives
+            + report.true_negatives
+        )
+        assert total == 3 * 5
+        assert report.recall > 0.5
+
+    def test_empty_rounds_are_skipped(self):
+        report = evaluate_detector(GradientNormDetector(), [[], []])
+        assert report.true_positives == 0
+        assert report.true_negatives == 0

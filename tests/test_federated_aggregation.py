@@ -1,0 +1,160 @@
+"""Tests for the server-side aggregation rules."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.federated.aggregation import (
+    KrumAggregator,
+    MeanAggregator,
+    MedianAggregator,
+    NormBoundingAggregator,
+    SumAggregator,
+    TrimmedMeanAggregator,
+    make_aggregator,
+)
+from repro.federated.updates import ClientUpdate
+
+NUM_ITEMS = 6
+NUM_FACTORS = 2
+
+
+def _update(client_id, ids, rows, theta=None, malicious=False):
+    return ClientUpdate(
+        client_id=client_id,
+        item_ids=np.asarray(ids, dtype=np.int64),
+        item_gradients=np.asarray(rows, dtype=np.float64),
+        theta_gradient=theta,
+        is_malicious=malicious,
+    )
+
+
+@pytest.fixture()
+def benign_updates():
+    return [
+        _update(0, [0, 1], [[1.0, 0.0], [0.0, 1.0]]),
+        _update(1, [1, 2], [[0.0, 2.0], [1.0, 1.0]]),
+        _update(2, [0], [[0.5, 0.5]]),
+    ]
+
+
+class TestSumAggregator:
+    def test_matches_manual_sum(self, benign_updates):
+        result = SumAggregator().aggregate(benign_updates, NUM_ITEMS, NUM_FACTORS)
+        expected = np.zeros((NUM_ITEMS, NUM_FACTORS))
+        for update in benign_updates:
+            expected += update.to_dense(NUM_ITEMS, NUM_FACTORS)
+        np.testing.assert_allclose(result.item_gradient, expected)
+
+    def test_empty_round(self):
+        result = SumAggregator().aggregate([], NUM_ITEMS, NUM_FACTORS)
+        np.testing.assert_allclose(result.item_gradient, 0.0)
+
+    def test_theta_summed(self, benign_updates):
+        benign_updates[0].theta_gradient = np.ones(3)
+        benign_updates[1].theta_gradient = 2 * np.ones(3)
+        result = SumAggregator().aggregate(benign_updates, NUM_ITEMS, NUM_FACTORS)
+        np.testing.assert_allclose(result.theta_gradient, 3 * np.ones(3))
+
+    def test_theta_none_when_absent(self, benign_updates):
+        result = SumAggregator().aggregate(benign_updates, NUM_ITEMS, NUM_FACTORS)
+        assert result.theta_gradient is None
+
+
+class TestMeanAggregator:
+    def test_mean_is_sum_divided_by_count(self, benign_updates):
+        total = SumAggregator().aggregate(benign_updates, NUM_ITEMS, NUM_FACTORS)
+        mean = MeanAggregator().aggregate(benign_updates, NUM_ITEMS, NUM_FACTORS)
+        np.testing.assert_allclose(mean.item_gradient, total.item_gradient / 3)
+
+
+class TestRobustAggregators:
+    def test_median_suppresses_single_outlier(self):
+        updates = [
+            _update(0, [0], [[1.0, 1.0]]),
+            _update(1, [0], [[1.1, 0.9]]),
+            _update(2, [0], [[100.0, -100.0]], malicious=True),
+        ]
+        result = MedianAggregator().aggregate(updates, NUM_ITEMS, NUM_FACTORS)
+        # Median per coordinate is ~1, rescaled by 3 clients.
+        assert abs(result.item_gradient[0, 0]) < 5.0
+
+    def test_trimmed_mean_suppresses_outlier(self):
+        updates = [_update(i, [0], [[1.0, 1.0]]) for i in range(5)]
+        updates.append(_update(9, [0], [[1000.0, 1000.0]], malicious=True))
+        result = TrimmedMeanAggregator(trim_ratio=0.2).aggregate(updates, NUM_ITEMS, NUM_FACTORS)
+        assert result.item_gradient[0, 0] < 50.0
+
+    def test_trimmed_mean_invalid_ratio(self):
+        with pytest.raises(ConfigurationError):
+            TrimmedMeanAggregator(trim_ratio=0.6)
+
+    def test_krum_selects_consistent_update(self):
+        updates = [
+            _update(0, [0], [[1.0, 1.0]]),
+            _update(1, [0], [[1.05, 0.95]]),
+            _update(2, [0], [[0.95, 1.05]]),
+            _update(3, [0], [[500.0, -500.0]], malicious=True),
+        ]
+        result = KrumAggregator(num_malicious=1).aggregate(updates, NUM_ITEMS, NUM_FACTORS)
+        # The selected gradient (rescaled by 4) must be near the benign cluster.
+        assert abs(result.item_gradient[0, 0] - 4.0) < 1.0
+
+    def test_krum_invalid_options(self):
+        with pytest.raises(ConfigurationError):
+            KrumAggregator(num_malicious=-1)
+        with pytest.raises(ConfigurationError):
+            KrumAggregator(multi_krum=0)
+
+    def test_krum_empty_round(self):
+        result = KrumAggregator().aggregate([], NUM_ITEMS, NUM_FACTORS)
+        np.testing.assert_allclose(result.item_gradient, 0.0)
+
+    def test_norm_bounding_limits_each_row(self):
+        updates = [
+            _update(0, [0], [[30.0, 40.0]]),
+            _update(1, [0], [[0.3, 0.4]]),
+        ]
+        result = NormBoundingAggregator(max_row_norm=1.0).aggregate(
+            updates, NUM_ITEMS, NUM_FACTORS
+        )
+        # First row clipped to norm 1, second untouched: total norm <= 1.5.
+        assert np.linalg.norm(result.item_gradient[0]) <= 1.5 + 1e-9
+
+    def test_norm_bounding_invalid(self):
+        with pytest.raises(ConfigurationError):
+            NormBoundingAggregator(max_row_norm=0.0)
+
+    def test_median_empty_round(self):
+        result = MedianAggregator().aggregate([], NUM_ITEMS, NUM_FACTORS)
+        np.testing.assert_allclose(result.item_gradient, 0.0)
+
+
+class TestFactory:
+    @pytest.mark.parametrize(
+        "name, cls",
+        [
+            ("sum", SumAggregator),
+            ("mean", MeanAggregator),
+            ("trimmed_mean", TrimmedMeanAggregator),
+            ("median", MedianAggregator),
+            ("krum", KrumAggregator),
+            ("norm_bounding", NormBoundingAggregator),
+        ],
+    )
+    def test_factory_builds_each_rule(self, name, cls):
+        assert isinstance(make_aggregator(name), cls)
+
+    def test_factory_passes_options(self):
+        aggregator = make_aggregator("trimmed_mean", trim_ratio=0.3)
+        assert aggregator.trim_ratio == pytest.approx(0.3)
+
+    def test_factory_unknown_name(self):
+        with pytest.raises(ConfigurationError):
+            make_aggregator("does-not-exist")
+
+    def test_factory_invalid_option(self):
+        with pytest.raises(ConfigurationError):
+            make_aggregator("sum", bogus=1)

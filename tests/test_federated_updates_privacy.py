@@ -1,0 +1,146 @@
+"""Tests for client updates, gradient clipping and the DP noise mechanism."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import FederationError
+from repro.federated.privacy import GaussianNoiseMechanism, clip_rows
+from repro.federated.updates import ClientUpdate
+
+
+def _make_update(rows=None, ids=None, malicious=False):
+    if rows is None:
+        rows = np.array([[3.0, 4.0], [0.0, 0.0], [0.3, 0.4]])
+        ids = np.array([1, 4, 7])
+    return ClientUpdate(
+        client_id=0,
+        item_ids=ids,
+        item_gradients=rows,
+        is_malicious=malicious,
+    )
+
+
+class TestClientUpdate:
+    def test_nonzero_row_count_ignores_zero_rows(self):
+        update = _make_update()
+        assert update.num_nonzero_rows == 2
+
+    def test_max_row_norm(self):
+        update = _make_update()
+        assert update.max_row_norm == pytest.approx(5.0)
+
+    def test_empty_update(self):
+        update = ClientUpdate(
+            client_id=1, item_ids=np.array([], dtype=int), item_gradients=np.empty((0, 2))
+        )
+        assert update.num_nonzero_rows == 0
+        assert update.max_row_norm == 0.0
+
+    def test_to_dense_scatters_rows(self):
+        update = _make_update()
+        dense = update.to_dense(10, 2)
+        assert dense.shape == (10, 2)
+        np.testing.assert_allclose(dense[1], [3.0, 4.0])
+        np.testing.assert_allclose(dense[0], [0.0, 0.0])
+
+    def test_to_dense_accumulates_duplicate_ids(self):
+        update = ClientUpdate(
+            client_id=0,
+            item_ids=np.array([2, 2]),
+            item_gradients=np.array([[1.0, 0.0], [2.0, 0.0]]),
+        )
+        dense = update.to_dense(4, 2)
+        np.testing.assert_allclose(dense[2], [3.0, 0.0])
+
+    def test_mismatched_shapes_raise(self):
+        with pytest.raises(FederationError):
+            ClientUpdate(client_id=0, item_ids=np.array([1, 2]), item_gradients=np.ones((3, 2)))
+
+    def test_copy_is_deep(self):
+        update = _make_update()
+        clone = update.copy()
+        clone.item_gradients[0, 0] = 99.0
+        assert update.item_gradients[0, 0] == 3.0
+
+    def test_malicious_flag_is_metadata(self):
+        update = _make_update(malicious=True)
+        assert update.is_malicious
+
+
+class TestClipRows:
+    def test_large_rows_clipped_to_bound(self):
+        rows = np.array([[3.0, 4.0], [6.0, 8.0]])
+        clipped = clip_rows(rows, 1.0)
+        norms = np.linalg.norm(clipped, axis=1)
+        np.testing.assert_allclose(norms, [1.0, 1.0])
+
+    def test_small_rows_untouched(self):
+        rows = np.array([[0.3, 0.4]])
+        np.testing.assert_allclose(clip_rows(rows, 1.0), rows)
+
+    def test_direction_preserved(self):
+        rows = np.array([[3.0, 4.0]])
+        clipped = clip_rows(rows, 1.0)
+        np.testing.assert_allclose(clipped[0] / np.linalg.norm(clipped[0]), [0.6, 0.8])
+
+    def test_zero_rows_stay_zero(self):
+        rows = np.zeros((2, 3))
+        np.testing.assert_allclose(clip_rows(rows, 1.0), rows)
+
+    def test_empty_input(self):
+        assert clip_rows(np.empty((0, 3)), 1.0).shape == (0, 3)
+
+    def test_invalid_bound(self):
+        with pytest.raises(FederationError):
+            clip_rows(np.ones((1, 2)), 0.0)
+
+
+class TestGaussianNoiseMechanism:
+    def test_no_noise_returns_same_object(self):
+        mechanism = GaussianNoiseMechanism(noise_scale=0.0, clip_norm=1.0)
+        update = _make_update()
+        assert mechanism.apply(update) is update
+
+    def test_noise_changes_gradients(self):
+        mechanism = GaussianNoiseMechanism(noise_scale=0.5, clip_norm=1.0, rng=0)
+        update = _make_update()
+        noisy = mechanism.apply(update)
+        assert noisy is not update
+        assert not np.allclose(noisy.item_gradients, update.item_gradients)
+
+    def test_noise_scale_matches_eq5(self):
+        # Standard deviation of the added noise must be mu * C.
+        mechanism = GaussianNoiseMechanism(noise_scale=0.5, clip_norm=2.0, rng=0)
+        assert mechanism.noise_stddev == pytest.approx(1.0)
+        rows = np.zeros((2000, 4))
+        update = ClientUpdate(client_id=0, item_ids=np.arange(2000), item_gradients=rows)
+        noisy = mechanism.apply(update)
+        assert np.std(noisy.item_gradients) == pytest.approx(1.0, rel=0.05)
+
+    def test_clip_before_noise(self):
+        mechanism = GaussianNoiseMechanism(noise_scale=0.0, clip_norm=1.0, clip_before_noise=True)
+        update = _make_update()
+        clipped = mechanism.apply(update)
+        assert clipped.max_row_norm <= 1.0 + 1e-9
+
+    def test_theta_gradient_receives_noise(self):
+        mechanism = GaussianNoiseMechanism(noise_scale=0.5, clip_norm=1.0, rng=0)
+        update = _make_update()
+        update.theta_gradient = np.zeros(10)
+        noisy = mechanism.apply(update)
+        assert not np.allclose(noisy.theta_gradient, 0.0)
+
+    def test_original_update_not_mutated(self):
+        mechanism = GaussianNoiseMechanism(noise_scale=0.5, clip_norm=1.0, rng=0)
+        update = _make_update()
+        before = update.item_gradients.copy()
+        mechanism.apply(update)
+        np.testing.assert_array_equal(update.item_gradients, before)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(FederationError):
+            GaussianNoiseMechanism(noise_scale=-1.0, clip_norm=1.0)
+        with pytest.raises(FederationError):
+            GaussianNoiseMechanism(noise_scale=0.0, clip_norm=0.0)

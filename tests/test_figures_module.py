@@ -1,0 +1,54 @@
+"""Additional tests for the figure-result container (no training involved)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments.figures import FigureResult
+
+
+def _figure_with_two_curves() -> FigureResult:
+    figure = FigureResult(title="Figure X")
+    figure.series["None"] = {
+        "epochs": np.array([1, 2, 3]),
+        "training_loss": np.array([10.0, 8.0, 6.0]),
+        "eval_epochs": np.array([3]),
+        "hr_at_10": np.array([0.5]),
+    }
+    figure.series["rho=5%"] = {
+        "epochs": np.array([1, 2, 3]),
+        "training_loss": np.array([10.0, 8.5, 6.5]),
+        "eval_epochs": np.array([3]),
+        "hr_at_10": np.array([0.48]),
+    }
+    return figure
+
+
+class TestFigureResult:
+    def test_labels_preserve_insertion_order(self):
+        figure = _figure_with_two_curves()
+        assert figure.labels() == ["None", "rho=5%"]
+
+    def test_final_accessors(self):
+        figure = _figure_with_two_curves()
+        assert figure.final_hr_at_10("None") == 0.5
+        assert figure.final_hr_at_10("rho=5%") == 0.48
+        assert figure.final_training_loss("None") == 6.0
+
+    def test_empty_series_returns_zero(self):
+        figure = FigureResult(title="empty")
+        figure.series["None"] = {
+            "epochs": np.array([], dtype=np.int64),
+            "training_loss": np.array([]),
+            "eval_epochs": np.array([], dtype=np.int64),
+            "hr_at_10": np.array([]),
+        }
+        assert figure.final_hr_at_10("None") == 0.0
+        assert figure.final_training_loss("None") == 0.0
+
+    def test_to_text_lists_every_curve(self):
+        figure = _figure_with_two_curves()
+        text = figure.to_text()
+        assert "Figure X" in text
+        assert "None" in text and "rho=5%" in text
+        assert str(figure) == text

@@ -1,0 +1,124 @@
+"""Tests for the training-history container, the exception hierarchy and the
+top-level package API."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro
+from repro.exceptions import (
+    AttackError,
+    ConfigurationError,
+    DataError,
+    ExperimentError,
+    FederationError,
+    ModelError,
+    ReproError,
+)
+from repro.federated.history import EpochRecord, TrainingHistory
+from repro.metrics.accuracy import AccuracyReport
+from repro.metrics.exposure import ExposureReport
+
+
+def _record(epoch, loss, hr=None, er=None):
+    accuracy = None if hr is None else AccuracyReport(hr_at_10=hr, ndcg_at_10=hr / 2, num_evaluated_users=10)
+    exposure = None if er is None else ExposureReport(er_at_5=er, er_at_10=er, ndcg_at_10=er)
+    return EpochRecord(epoch=epoch, training_loss=loss, accuracy=accuracy, exposure=exposure)
+
+
+class TestTrainingHistory:
+    def test_empty_history(self):
+        history = TrainingHistory()
+        assert len(history) == 0
+        assert history.final_accuracy() is None
+        assert history.final_exposure() is None
+        assert history.training_loss().shape == (0,)
+        assert history.hr_at_10().shape == (0,)
+
+    def test_series_extraction(self):
+        history = TrainingHistory()
+        history.append(_record(1, 10.0))
+        history.append(_record(2, 8.0, hr=0.4, er=0.1))
+        history.append(_record(3, 6.0))
+        history.append(_record(4, 5.0, hr=0.5, er=0.2))
+        np.testing.assert_array_equal(history.epochs(), [1, 2, 3, 4])
+        np.testing.assert_allclose(history.training_loss(), [10.0, 8.0, 6.0, 5.0])
+        np.testing.assert_array_equal(history.evaluated_epochs(), [2, 4])
+        np.testing.assert_allclose(history.hr_at_10(), [0.4, 0.5])
+        np.testing.assert_allclose(history.er_at_10(), [0.1, 0.2])
+
+    def test_final_reports_are_last_evaluated(self):
+        history = TrainingHistory()
+        history.append(_record(1, 10.0, hr=0.3, er=0.0))
+        history.append(_record(2, 9.0))
+        history.append(_record(3, 8.0, hr=0.6, er=0.9))
+        history.append(_record(4, 7.0))
+        assert history.final_accuracy().hr_at_10 == pytest.approx(0.6)
+        assert history.final_exposure().er_at_10 == pytest.approx(0.9)
+
+    def test_records_are_ordered_as_appended(self):
+        history = TrainingHistory()
+        for epoch in (3, 1, 2):
+            history.append(_record(epoch, float(epoch)))
+        np.testing.assert_array_equal(history.epochs(), [3, 1, 2])
+
+
+class TestExceptionHierarchy:
+    @pytest.mark.parametrize(
+        "exception",
+        [ConfigurationError, DataError, ModelError, FederationError, AttackError, ExperimentError],
+    )
+    def test_all_derive_from_repro_error(self, exception):
+        assert issubclass(exception, ReproError)
+        with pytest.raises(ReproError):
+            raise exception("boom")
+
+    def test_repro_error_is_an_exception(self):
+        assert issubclass(ReproError, Exception)
+
+
+class TestPackageAPI:
+    def test_version_is_exposed(self):
+        assert isinstance(repro.__version__, str)
+        assert repro.__version__.count(".") == 2
+
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), f"missing export {name}"
+
+    def test_headline_types_are_importable(self):
+        from repro import (
+            ExperimentConfig,
+            FedRecAttack,
+            FederatedSimulation,
+            InteractionDataset,
+            MatrixFactorizationModel,
+            run_experiment,
+        )
+
+        assert callable(run_experiment)
+        assert ExperimentConfig is not None
+        assert FedRecAttack is not None
+        assert FederatedSimulation is not None
+        assert InteractionDataset is not None
+        assert MatrixFactorizationModel is not None
+
+    def test_subpackage_alls_resolve(self):
+        import repro.attacks as attacks
+        import repro.data as data
+        import repro.defenses as defenses
+        import repro.experiments as experiments
+        import repro.federated as federated
+        import repro.metrics as metrics
+        import repro.models as models
+
+        for module in (attacks, data, defenses, experiments, federated, metrics, models):
+            for name in module.__all__:
+                assert hasattr(module, name), f"{module.__name__} missing {name}"
+
+    def test_reports_expose_dict_views(self):
+        accuracy = AccuracyReport(hr_at_10=0.5, ndcg_at_10=0.3, num_evaluated_users=7)
+        exposure = ExposureReport(er_at_5=0.1, er_at_10=0.2, ndcg_at_10=0.15)
+        assert accuracy.as_dict() == {"HR@10": 0.5, "NDCG@10": 0.3}
+        assert exposure.as_dict() == {"ER@5": 0.1, "ER@10": 0.2, "NDCG@10": 0.15}

@@ -1,0 +1,173 @@
+"""Tests for the BPR loss and its analytic gradients."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ModelError
+from repro.models.losses import BPRGradients, bpr_loss, bpr_loss_and_gradients, sigmoid
+
+
+def _numerical_user_gradient(user, items, pos, neg, epsilon=1e-6):
+    grad = np.zeros_like(user)
+    for index in range(user.shape[0]):
+        shifted = user.copy()
+        shifted[index] += epsilon
+        upper = bpr_loss(shifted, items, pos, neg)
+        shifted[index] -= 2 * epsilon
+        lower = bpr_loss(shifted, items, pos, neg)
+        grad[index] = (upper - lower) / (2 * epsilon)
+    return grad
+
+
+def _numerical_item_gradient(user, items, pos, neg, epsilon=1e-6):
+    grad = np.zeros_like(items)
+    for row in range(items.shape[0]):
+        for col in range(items.shape[1]):
+            shifted = items.copy()
+            shifted[row, col] += epsilon
+            upper = bpr_loss(user, shifted, pos, neg)
+            shifted[row, col] -= 2 * epsilon
+            lower = bpr_loss(user, shifted, pos, neg)
+            grad[row, col] = (upper - lower) / (2 * epsilon)
+    return grad
+
+
+class TestSigmoid:
+    def test_at_zero(self):
+        assert sigmoid(0.0) == pytest.approx(0.5)
+
+    def test_extreme_values_are_finite(self):
+        assert sigmoid(1000.0) == pytest.approx(1.0)
+        assert sigmoid(-1000.0) == pytest.approx(0.0)
+
+    def test_symmetry(self):
+        x = np.linspace(-5, 5, 11)
+        np.testing.assert_allclose(sigmoid(x) + sigmoid(-x), np.ones_like(x), atol=1e-12)
+
+
+class TestBPRLossValue:
+    def test_zero_pairs_gives_zero_loss(self, rng):
+        items = rng.normal(size=(5, 4))
+        user = rng.normal(size=4)
+        assert bpr_loss(user, items, np.array([], dtype=int), np.array([], dtype=int)) == 0.0
+
+    def test_loss_is_positive(self, rng):
+        items = rng.normal(size=(10, 4))
+        user = rng.normal(size=4)
+        loss = bpr_loss(user, items, np.array([0, 1]), np.array([2, 3]))
+        assert loss > 0.0
+
+    def test_perfect_ranking_gives_small_loss(self):
+        user = np.array([1.0, 0.0])
+        items = np.array([[50.0, 0.0], [-50.0, 0.0]])
+        loss = bpr_loss(user, items, np.array([0]), np.array([1]))
+        assert loss == pytest.approx(0.0, abs=1e-9)
+
+    def test_inverted_ranking_gives_large_loss(self):
+        user = np.array([1.0, 0.0])
+        items = np.array([[-50.0, 0.0], [50.0, 0.0]])
+        loss = bpr_loss(user, items, np.array([0]), np.array([1]))
+        assert loss > 50.0
+
+    def test_mismatched_pairs_raise(self, rng):
+        items = rng.normal(size=(5, 4))
+        user = rng.normal(size=4)
+        with pytest.raises(ModelError):
+            bpr_loss(user, items, np.array([0, 1]), np.array([2]))
+
+
+class TestBPRGradients:
+    def test_user_gradient_matches_finite_differences(self, rng):
+        items = rng.normal(size=(8, 5))
+        user = rng.normal(size=5)
+        pos = np.array([0, 1, 2])
+        neg = np.array([3, 4, 5])
+        result = bpr_loss_and_gradients(user, items, pos, neg)
+        numerical = _numerical_user_gradient(user, items, pos, neg)
+        np.testing.assert_allclose(result.grad_user, numerical, atol=1e-5)
+
+    def test_item_gradient_matches_finite_differences(self, rng):
+        items = rng.normal(size=(6, 4))
+        user = rng.normal(size=4)
+        pos = np.array([0, 1])
+        neg = np.array([2, 3])
+        result = bpr_loss_and_gradients(user, items, pos, neg)
+        numerical = _numerical_item_gradient(user, items, pos, neg)
+        dense = result.as_dense_item_gradient(items.shape[0])
+        np.testing.assert_allclose(dense, numerical, atol=1e-5)
+
+    def test_repeated_item_gradients_accumulate(self, rng):
+        items = rng.normal(size=(5, 3))
+        user = rng.normal(size=3)
+        pos = np.array([0, 0])
+        neg = np.array([1, 2])
+        result = bpr_loss_and_gradients(user, items, pos, neg)
+        assert result.item_ids.shape[0] == 3  # items 0, 1, 2 deduplicated
+        numerical = _numerical_item_gradient(user, items, pos, neg)
+        np.testing.assert_allclose(
+            result.as_dense_item_gradient(5), numerical, atol=1e-5
+        )
+
+    def test_loss_value_matches_bpr_loss(self, rng):
+        items = rng.normal(size=(7, 4))
+        user = rng.normal(size=4)
+        pos = np.array([0, 1])
+        neg = np.array([5, 6])
+        result = bpr_loss_and_gradients(user, items, pos, neg)
+        assert result.loss == pytest.approx(bpr_loss(user, items, pos, neg))
+
+    def test_gradient_only_touches_involved_items(self, rng):
+        items = rng.normal(size=(10, 4))
+        user = rng.normal(size=4)
+        result = bpr_loss_and_gradients(user, items, np.array([1]), np.array([7]))
+        assert set(result.item_ids.tolist()) == {1, 7}
+
+    def test_empty_pairs_give_zero_gradients(self, rng):
+        items = rng.normal(size=(5, 4))
+        user = rng.normal(size=4)
+        result = bpr_loss_and_gradients(user, items, np.array([], dtype=int), np.array([], dtype=int))
+        assert result.loss == 0.0
+        np.testing.assert_array_equal(result.grad_user, np.zeros(4))
+        assert result.item_ids.shape == (0,)
+
+    def test_l2_regularisation_increases_loss(self, rng):
+        items = rng.normal(size=(6, 4))
+        user = rng.normal(size=4)
+        pos, neg = np.array([0]), np.array([1])
+        base = bpr_loss_and_gradients(user, items, pos, neg, l2_reg=0.0)
+        regularised = bpr_loss_and_gradients(user, items, pos, neg, l2_reg=0.1)
+        assert regularised.loss > base.loss
+
+    def test_l2_regularisation_changes_gradient(self, rng):
+        items = rng.normal(size=(6, 4))
+        user = rng.normal(size=4)
+        pos, neg = np.array([0]), np.array([1])
+        base = bpr_loss_and_gradients(user, items, pos, neg, l2_reg=0.0)
+        regularised = bpr_loss_and_gradients(user, items, pos, neg, l2_reg=0.1)
+        assert not np.allclose(base.grad_user, regularised.grad_user)
+
+    def test_gradient_descent_reduces_loss(self, rng):
+        items = rng.normal(size=(10, 6), scale=0.1)
+        user = rng.normal(size=6, scale=0.1)
+        pos = np.array([0, 1, 2])
+        neg = np.array([5, 6, 7])
+        losses = []
+        for _ in range(50):
+            result = bpr_loss_and_gradients(user, items, pos, neg)
+            losses.append(result.loss)
+            user = user - 0.1 * result.grad_user
+            items[result.item_ids] -= 0.1 * result.grad_items
+        assert losses[-1] < losses[0]
+
+    def test_dataclass_round_trip(self, rng):
+        gradients = BPRGradients(
+            loss=1.0,
+            grad_user=np.zeros(3),
+            item_ids=np.array([0, 2]),
+            grad_items=np.ones((2, 3)),
+        )
+        dense = gradients.as_dense_item_gradient(4)
+        assert dense.shape == (4, 3)
+        np.testing.assert_array_equal(dense[1], np.zeros(3))

@@ -1,0 +1,89 @@
+"""Tests for deterministic random-number management."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.rng import SeedSequenceFactory, ensure_rng, spawn_rngs
+
+
+class TestEnsureRng:
+    def test_passthrough_of_existing_generator(self):
+        generator = np.random.default_rng(3)
+        assert ensure_rng(generator) is generator
+
+    def test_integer_seed_is_deterministic(self):
+        a = ensure_rng(42).integers(0, 1000, size=5)
+        b = ensure_rng(42).integers(0, 1000, size=5)
+        np.testing.assert_array_equal(a, b)
+
+    def test_none_gives_generator(self):
+        assert isinstance(ensure_rng(None), np.random.Generator)
+
+
+class TestSpawnRngs:
+    def test_spawn_count(self):
+        children = spawn_rngs(np.random.default_rng(0), 4)
+        assert len(children) == 4
+
+    def test_spawn_zero(self):
+        assert spawn_rngs(np.random.default_rng(0), 0) == []
+
+    def test_spawn_negative_raises(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(np.random.default_rng(0), -1)
+
+    def test_children_are_independent(self):
+        children = spawn_rngs(np.random.default_rng(0), 2)
+        a = children[0].integers(0, 10**9, size=10)
+        b = children[1].integers(0, 10**9, size=10)
+        assert not np.array_equal(a, b)
+
+
+class TestSeedSequenceFactory:
+    def test_same_name_same_seed_reproducible(self):
+        first = SeedSequenceFactory(1).generator("server").integers(0, 10**9, size=5)
+        second = SeedSequenceFactory(1).generator("server").integers(0, 10**9, size=5)
+        np.testing.assert_array_equal(first, second)
+
+    def test_different_names_differ(self):
+        factory = SeedSequenceFactory(1)
+        a = factory.generator("server").integers(0, 10**9, size=10)
+        b = factory.generator("clients").integers(0, 10**9, size=10)
+        assert not np.array_equal(a, b)
+
+    def test_repeated_calls_advance_stream(self):
+        factory = SeedSequenceFactory(1)
+        a = factory.generator("x").integers(0, 10**9, size=10)
+        b = factory.generator("x").integers(0, 10**9, size=10)
+        assert not np.array_equal(a, b)
+
+    def test_different_master_seeds_differ(self):
+        a = SeedSequenceFactory(1).generator("x").integers(0, 10**9, size=10)
+        b = SeedSequenceFactory(2).generator("x").integers(0, 10**9, size=10)
+        assert not np.array_equal(a, b)
+
+    def test_child_namespacing_is_deterministic(self):
+        a = SeedSequenceFactory(5).child("sim").generator("x").integers(0, 10**9, size=5)
+        b = SeedSequenceFactory(5).child("sim").generator("x").integers(0, 10**9, size=5)
+        np.testing.assert_array_equal(a, b)
+
+    def test_child_differs_from_parent(self):
+        factory = SeedSequenceFactory(5)
+        a = factory.child("sim").generator("x").integers(0, 10**9, size=5)
+        b = factory.generator("x").integers(0, 10**9, size=5)
+        assert not np.array_equal(a, b)
+
+    def test_master_seed_property(self):
+        assert SeedSequenceFactory(99).master_seed == 99
+
+    def test_iter_generators(self):
+        factory = SeedSequenceFactory(3)
+        iterator = factory.iter_generators("loop")
+        first = next(iterator)
+        second = next(iterator)
+        assert isinstance(first, np.random.Generator)
+        assert not np.array_equal(
+            first.integers(0, 10**9, size=5), second.integers(0, 10**9, size=5)
+        )
