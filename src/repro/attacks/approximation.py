@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.data.negative_sampling import sample_uniform_negatives
 from repro.data.public import PublicInteractions
 from repro.exceptions import AttackError
 from repro.models.losses import bpr_loss_and_gradients
@@ -110,19 +111,4 @@ class UserMatrixApproximator:
     def _sample_negatives(self, positives: np.ndarray, count: int) -> np.ndarray:
         mask = np.zeros(self._num_items, dtype=bool)
         mask[positives] = True
-        available = self._num_items - positives.shape[0]
-        count = min(count, available)
-        if count <= 0:
-            return np.empty(0, dtype=np.int64)
-        negatives: list[int] = []
-        seen: set[int] = set()
-        while len(negatives) < count:
-            draws = self._rng.integers(0, self._num_items, size=2 * (count - len(negatives)) + 1)
-            for item in draws:
-                item = int(item)
-                if not mask[item] and item not in seen:
-                    seen.add(item)
-                    negatives.append(item)
-                    if len(negatives) == count:
-                        break
-        return np.array(negatives, dtype=np.int64)
+        return sample_uniform_negatives(self._rng, self._num_items, count, mask)

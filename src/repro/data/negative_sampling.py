@@ -4,6 +4,10 @@ Each user client samples a set of negative items ``V-_i'`` of the same size
 as its positive set and trains on the paired loss of Eq. (4).  The sampler
 below reproduces that: it draws uniform negatives that the user has not
 interacted with, optionally resampling every round.
+
+:func:`sample_uniform_negatives` is the shared mask-based implementation used
+by both the data-layer :class:`NegativeSampler` and the federated clients —
+it replaces the old per-item Python rejection loop with vectorised draws.
 """
 
 from __future__ import annotations
@@ -14,7 +18,32 @@ from repro.data.dataset import InteractionDataset
 from repro.exceptions import DataError
 from repro.rng import ensure_rng
 
-__all__ = ["NegativeSampler"]
+__all__ = ["NegativeSampler", "sample_uniform_negatives"]
+
+
+def sample_uniform_negatives(
+    rng: np.random.Generator,
+    num_items: int,
+    count: int,
+    positive_mask: np.ndarray,
+    num_positives: int | None = None,
+) -> np.ndarray:
+    """Draw ``count`` distinct uniform negatives outside ``positive_mask``.
+
+    Fully vectorised and exact: a random permutation of the catalog is
+    filtered through the boolean mask and truncated, which is an unbiased
+    uniform draw without replacement from the complement of the positives —
+    no rejection loop, no Python-level per-item work.  ``num_positives`` (the
+    mask's popcount) can be passed by callers that cache it.
+    """
+    if num_positives is None:
+        num_positives = int(positive_mask.sum())
+    count = min(count, num_items - num_positives)
+    if count <= 0:
+        return np.empty(0, dtype=np.int64)
+    permutation = rng.permutation(num_items)
+    negatives = permutation[~positive_mask[permutation]]
+    return negatives[:count]
 
 
 class NegativeSampler:
@@ -41,30 +70,9 @@ class NegativeSampler:
         if count < 0:
             raise DataError(f"count must be non-negative, got {count}")
         num_items = self._dataset.num_items
-        available = num_items - positives.shape[0]
-        if available <= 0:
-            return np.empty(0, dtype=np.int64)
-        count = min(count, available)
         positive_mask = np.zeros(num_items, dtype=bool)
         positive_mask[positives] = True
-        # Rejection sampling is fast when the dataset is sparse (which all
-        # three paper datasets are, >93% sparsity); fall back to exact
-        # sampling from the complement when it is not.
-        if positives.shape[0] < num_items // 2:
-            negatives: list[int] = []
-            seen: set[int] = set()
-            while len(negatives) < count:
-                draws = self._rng.integers(0, num_items, size=2 * (count - len(negatives)))
-                for item in draws:
-                    item = int(item)
-                    if not positive_mask[item] and item not in seen:
-                        seen.add(item)
-                        negatives.append(item)
-                        if len(negatives) == count:
-                            break
-            return np.array(negatives, dtype=np.int64)
-        complement = np.flatnonzero(~positive_mask)
-        return self._rng.choice(complement, size=count, replace=False)
+        return sample_uniform_negatives(self._rng, num_items, count, positive_mask)
 
     def sample_pairs(self, user: int) -> tuple[np.ndarray, np.ndarray]:
         """Return aligned arrays of positive and negative items for ``user``.

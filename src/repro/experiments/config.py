@@ -52,6 +52,7 @@ class ExperimentConfig:
     l2_reg: float = 0.0
     aggregator: str = "sum"
     aggregator_options: dict = field(default_factory=dict)
+    engine: str = "vectorized"
     evaluate_every: int | None = None
     eval_num_negatives: int | None = 99
     seed: int = 0
@@ -89,6 +90,7 @@ class ExperimentConfig:
             l2_reg=self.l2_reg,
             aggregator=self.aggregator,
             aggregator_options=dict(self.aggregator_options),
+            engine=self.engine,
         )
 
     def with_overrides(self, **kwargs) -> "ExperimentConfig":

@@ -20,13 +20,17 @@ from repro.federated.aggregation import (
 )
 from repro.federated.client import BenignClient, Client, MaliciousClient
 from repro.federated.config import FederatedConfig
+from repro.federated.engine import BatchedRoundTrainer
 from repro.federated.history import EpochRecord, TrainingHistory
 from repro.federated.privacy import GaussianNoiseMechanism, clip_rows
 from repro.federated.server import Server
 from repro.federated.simulation import FederatedSimulation, SimulationResult
-from repro.federated.updates import ClientUpdate
+from repro.federated.updates import ClientUpdate, SparseRoundUpdates, scatter_rows
 
 __all__ = [
+    "BatchedRoundTrainer",
+    "SparseRoundUpdates",
+    "scatter_rows",
     "Aggregator",
     "SumAggregator",
     "MeanAggregator",

@@ -6,8 +6,18 @@ step (Eq. 7).  The future-work section discusses byzantine-robust rules
 here too so the defense extension experiments can evaluate FedRecAttack
 against them.
 
-All aggregators consume the sparse per-client updates and return a dense
-``(num_items, k)`` item-gradient (plus an optional flat ``Theta`` gradient).
+Every aggregator accepts either a plain ``list[ClientUpdate]`` or the
+CSR-style :class:`~repro.federated.updates.SparseRoundUpdates` the vectorized
+round engine produces (a list is packed into the sparse form first, so there
+is a single code path).  ``sum`` / ``mean`` / ``norm_bounding`` consume the
+sparse structure directly — one scatter-add over the concatenated gradient
+rows, never a dense per-client tensor.  The coordinate-wise robust rules
+(``trimmed_mean`` / ``median`` / ``krum``) densify only over the *union* of
+touched item rows: rows no client touched are zero for every client, so the
+statistics computed on the union tensor equal the full dense computation at a
+fraction of the memory.  All rules return a dense ``(num_items, k)``
+item-gradient (plus an optional flat ``Theta`` gradient) for the server's SGD
+step.
 """
 
 from __future__ import annotations
@@ -17,8 +27,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.exceptions import ConfigurationError, FederationError
-from repro.federated.updates import ClientUpdate
+from repro.exceptions import ConfigurationError
+from repro.federated.updates import ClientUpdate, SparseRoundUpdates, scatter_rows
 
 __all__ = [
     "AggregationResult",
@@ -32,6 +42,8 @@ __all__ = [
     "make_aggregator",
 ]
 
+RoundUpdates = list[ClientUpdate] | SparseRoundUpdates
+
 
 @dataclass(frozen=True)
 class AggregationResult:
@@ -41,6 +53,13 @@ class AggregationResult:
     theta_gradient: np.ndarray | None
 
 
+def _as_round(updates, num_factors: int) -> SparseRoundUpdates:
+    """Normalise either update representation to the sparse round form."""
+    if isinstance(updates, SparseRoundUpdates):
+        return updates
+    return SparseRoundUpdates.from_client_updates(updates, num_factors=num_factors)
+
+
 class Aggregator(ABC):
     """Interface of a server-side aggregation rule."""
 
@@ -48,25 +67,9 @@ class Aggregator(ABC):
 
     @abstractmethod
     def aggregate(
-        self, updates: list[ClientUpdate], num_items: int, num_factors: int
+        self, updates: RoundUpdates, num_items: int, num_factors: int
     ) -> AggregationResult:
         """Combine the round's client updates into a single gradient."""
-
-    @staticmethod
-    def _stack_dense(
-        updates: list[ClientUpdate], num_items: int, num_factors: int
-    ) -> np.ndarray:
-        """Dense ``(num_clients, num_items, k)`` tensor of all updates."""
-        if not updates:
-            return np.zeros((0, num_items, num_factors), dtype=np.float64)
-        return np.stack([u.to_dense(num_items, num_factors) for u in updates], axis=0)
-
-    @staticmethod
-    def _sum_theta(updates: list[ClientUpdate]) -> np.ndarray | None:
-        thetas = [u.theta_gradient for u in updates if u.theta_gradient is not None]
-        if not thetas:
-            return None
-        return np.sum(np.stack(thetas, axis=0), axis=0)
 
 
 class SumAggregator(Aggregator):
@@ -75,27 +78,36 @@ class SumAggregator(Aggregator):
     name = "sum"
 
     def aggregate(
-        self, updates: list[ClientUpdate], num_items: int, num_factors: int
+        self, updates: RoundUpdates, num_items: int, num_factors: int
     ) -> AggregationResult:
-        total = np.zeros((num_items, num_factors), dtype=np.float64)
-        for update in updates:
-            if update.item_ids.shape[0] > 0:
-                np.add.at(total, update.item_ids, update.item_gradients)
-        return AggregationResult(item_gradient=total, theta_gradient=self._sum_theta(updates))
+        round_updates = _as_round(updates, num_factors)
+        return AggregationResult(
+            item_gradient=round_updates.sum_item_gradient(num_items, num_factors),
+            theta_gradient=round_updates.sum_theta(),
+        )
 
 
 class MeanAggregator(Aggregator):
-    """Average of the client gradients (FedAvg-style)."""
+    """Average of the client gradients (FedAvg-style).
+
+    The item gradient is divided by the number of participating clients; the
+    theta gradient is divided by the number of clients that actually uploaded
+    one (a plain-MF malicious upload carries no theta and must not dilute the
+    average).
+    """
 
     name = "mean"
 
     def aggregate(
-        self, updates: list[ClientUpdate], num_items: int, num_factors: int
+        self, updates: RoundUpdates, num_items: int, num_factors: int
     ) -> AggregationResult:
-        result = SumAggregator().aggregate(updates, num_items, num_factors)
-        count = max(len(updates), 1)
-        theta = None if result.theta_gradient is None else result.theta_gradient / count
-        return AggregationResult(item_gradient=result.item_gradient / count, theta_gradient=theta)
+        round_updates = _as_round(updates, num_factors)
+        count = max(round_updates.num_clients, 1)
+        item_gradient = round_updates.sum_item_gradient(num_items, num_factors) / count
+        theta = round_updates.sum_theta()
+        if theta is not None:
+            theta = theta / max(round_updates.num_theta_contributors, 1)
+        return AggregationResult(item_gradient=item_gradient, theta_gradient=theta)
 
 
 class TrimmedMeanAggregator(Aggregator):
@@ -114,21 +126,23 @@ class TrimmedMeanAggregator(Aggregator):
         self.trim_ratio = float(trim_ratio)
 
     def aggregate(
-        self, updates: list[ClientUpdate], num_items: int, num_factors: int
+        self, updates: RoundUpdates, num_items: int, num_factors: int
     ) -> AggregationResult:
-        if not updates:
+        round_updates = _as_round(updates, num_factors)
+        num_clients = round_updates.num_clients
+        if num_clients == 0:
             return AggregationResult(np.zeros((num_items, num_factors)), None)
-        stacked = self._stack_dense(updates, num_items, num_factors)
-        num_clients = stacked.shape[0]
+        tensor, union = round_updates.dense_over_union()
         trim = int(np.floor(self.trim_ratio * num_clients))
         if trim > 0 and num_clients - 2 * trim > 0:
-            ordered = np.sort(stacked, axis=0)
-            trimmed = ordered[trim : num_clients - trim]
-            mean = trimmed.mean(axis=0)
+            ordered = np.sort(tensor, axis=0)
+            mean = ordered[trim : num_clients - trim].mean(axis=0)
         else:
-            mean = stacked.mean(axis=0)
+            mean = tensor.mean(axis=0)
+        item_gradient = np.zeros((num_items, num_factors), dtype=np.float64)
+        item_gradient[union] = mean * num_clients
         return AggregationResult(
-            item_gradient=mean * num_clients, theta_gradient=self._sum_theta(updates)
+            item_gradient=item_gradient, theta_gradient=round_updates.sum_theta()
         )
 
 
@@ -138,14 +152,17 @@ class MedianAggregator(Aggregator):
     name = "median"
 
     def aggregate(
-        self, updates: list[ClientUpdate], num_items: int, num_factors: int
+        self, updates: RoundUpdates, num_items: int, num_factors: int
     ) -> AggregationResult:
-        if not updates:
+        round_updates = _as_round(updates, num_factors)
+        num_clients = round_updates.num_clients
+        if num_clients == 0:
             return AggregationResult(np.zeros((num_items, num_factors)), None)
-        stacked = self._stack_dense(updates, num_items, num_factors)
-        median = np.median(stacked, axis=0)
+        tensor, union = round_updates.dense_over_union()
+        item_gradient = np.zeros((num_items, num_factors), dtype=np.float64)
+        item_gradient[union] = np.median(tensor, axis=0) * num_clients
         return AggregationResult(
-            item_gradient=median * stacked.shape[0], theta_gradient=self._sum_theta(updates)
+            item_gradient=item_gradient, theta_gradient=round_updates.sum_theta()
         )
 
 
@@ -153,7 +170,10 @@ class KrumAggregator(Aggregator):
     """Krum: select the update closest to its neighbours and scale it.
 
     ``num_malicious`` is the server's assumption about how many uploads per
-    round may be malicious (the classical ``f`` of Krum).
+    round may be malicious (the classical ``f`` of Krum).  The selected item
+    gradient (mean of the ``multi_krum`` chosen updates) and the selected
+    theta gradient are both rescaled by the number of participating clients so
+    their magnitudes stay comparable to the sum rule.
     """
 
     name = "krum"
@@ -167,19 +187,26 @@ class KrumAggregator(Aggregator):
         self.multi_krum = int(multi_krum)
 
     def aggregate(
-        self, updates: list[ClientUpdate], num_items: int, num_factors: int
+        self, updates: RoundUpdates, num_items: int, num_factors: int
     ) -> AggregationResult:
-        if not updates:
+        round_updates = _as_round(updates, num_factors)
+        num_clients = round_updates.num_clients
+        if num_clients == 0:
             return AggregationResult(np.zeros((num_items, num_factors)), None)
-        stacked = self._stack_dense(updates, num_items, num_factors)
-        flattened = stacked.reshape(stacked.shape[0], -1)
+        tensor, union = round_updates.dense_over_union()
+        flattened = tensor.reshape(num_clients, -1)
         scores = self._krum_scores(flattened)
         selected = np.argsort(scores, kind="stable")[: self.multi_krum]
-        chosen = stacked[selected].mean(axis=0)
-        return AggregationResult(
-            item_gradient=chosen * stacked.shape[0],
-            theta_gradient=self._sum_theta([updates[i] for i in selected]),
-        )
+        item_gradient = np.zeros((num_items, num_factors), dtype=np.float64)
+        item_gradient[union] = tensor[selected].mean(axis=0) * num_clients
+        theta = None
+        if round_updates.theta_gradients is not None:
+            selected_mask = round_updates.theta_mask[selected]
+            contributors = int(selected_mask.sum())
+            if contributors > 0:
+                selected_thetas = round_updates.theta_gradients[selected][selected_mask]
+                theta = selected_thetas.sum(axis=0) / contributors * num_clients
+        return AggregationResult(item_gradient=item_gradient, theta_gradient=theta)
 
     def _krum_scores(self, flattened: np.ndarray) -> np.ndarray:
         num_clients = flattened.shape[0]
@@ -208,16 +235,20 @@ class NormBoundingAggregator(Aggregator):
         self.max_row_norm = float(max_row_norm)
 
     def aggregate(
-        self, updates: list[ClientUpdate], num_items: int, num_factors: int
+        self, updates: RoundUpdates, num_items: int, num_factors: int
     ) -> AggregationResult:
-        total = np.zeros((num_items, num_factors), dtype=np.float64)
-        for update in updates:
-            if update.item_ids.shape[0] == 0:
-                continue
-            norms = np.linalg.norm(update.item_gradients, axis=1, keepdims=True)
+        round_updates = _as_round(updates, num_factors)
+        grad_rows = round_updates.grad_rows
+        if grad_rows.shape[0] > 0:
+            norms = np.linalg.norm(grad_rows, axis=1, keepdims=True)
             scale = np.minimum(1.0, self.max_row_norm / np.maximum(norms, 1e-12))
-            np.add.at(total, update.item_ids, update.item_gradients * scale)
-        return AggregationResult(item_gradient=total, theta_gradient=self._sum_theta(updates))
+            grad_rows = grad_rows * scale
+        return AggregationResult(
+            item_gradient=scatter_rows(
+                round_updates.item_ids, grad_rows, num_items, num_factors
+            ),
+            theta_gradient=round_updates.sum_theta(),
+        )
 
 
 _AGGREGATORS = {

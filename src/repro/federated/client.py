@@ -15,6 +15,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.data.negative_sampling import sample_uniform_negatives
 from repro.exceptions import FederationError
 from repro.federated.updates import ClientUpdate
 from repro.models.losses import bpr_loss_and_gradients, sigmoid
@@ -131,26 +132,23 @@ class Client:
         theta_grad = pos_grads.grad_params + neg_grads.grad_params
         return loss, grad_user, unique_ids, accumulated, theta_grad
 
-    def _sample_negatives(self, positives: np.ndarray, count: int) -> np.ndarray:
-        """Uniform negatives drawn from the items not in ``positives``."""
-        positive_mask = np.zeros(self.num_items, dtype=bool)
-        positive_mask[positives] = True
-        available = self.num_items - int(positive_mask.sum())
-        count = min(count, available)
-        if count <= 0:
-            return np.empty(0, dtype=np.int64)
-        negatives: list[int] = []
-        seen: set[int] = set()
-        while len(negatives) < count:
-            draws = self._rng.integers(0, self.num_items, size=2 * (count - len(negatives)) + 1)
-            for item in draws:
-                item = int(item)
-                if not positive_mask[item] and item not in seen:
-                    seen.add(item)
-                    negatives.append(item)
-                    if len(negatives) == count:
-                        break
-        return np.array(negatives, dtype=np.int64)
+    def _sample_negatives(
+        self, positives: np.ndarray, count: int, positive_mask: np.ndarray | None = None
+    ) -> np.ndarray:
+        """Uniform negatives drawn from the items not in ``positives``.
+
+        Vectorised mask-based draw; callers with a fixed positive set can pass
+        a precomputed ``positive_mask`` to skip rebuilding it every round.
+        """
+        if positive_mask is None:
+            positive_mask = np.zeros(self.num_items, dtype=bool)
+            positive_mask[positives] = True
+            num_positives = None
+        else:
+            num_positives = positives.shape[0]
+        return sample_uniform_negatives(
+            self._rng, self.num_items, count, positive_mask, num_positives
+        )
 
 
 class BenignClient(Client):
@@ -173,16 +171,32 @@ class BenignClient(Client):
         )
         self.positives = np.asarray(positives, dtype=np.int64)
         self.resample_negatives = bool(resample_negatives)
-        self._negatives = self._sample_negatives(self.positives, self.positives.shape[0])
+        self._positive_mask = np.zeros(self.num_items, dtype=bool)
+        self._positive_mask[self.positives] = True
+        self._negatives = self._sample_negatives(
+            self.positives, self.positives.shape[0], self._positive_mask
+        )
+
+    def draw_pairs(self) -> tuple[np.ndarray, np.ndarray]:
+        """The round's aligned (positives, negatives) training pairs.
+
+        Both the per-client and the vectorized round engine call this, so the
+        two engines consume identical per-client random streams and train on
+        identical pairs.
+        """
+        if self.resample_negatives or self._negatives.shape[0] < self.positives.shape[0]:
+            self._negatives = self._sample_negatives(
+                self.positives, self.positives.shape[0], self._positive_mask
+            )
+        negatives = self._negatives[: self.positives.shape[0]]
+        positives = self.positives[: negatives.shape[0]]
+        return positives, negatives
 
     def local_train(
         self, item_factors: np.ndarray, scorer: MLPScorer | None = None
     ) -> ClientUpdate:
         """One local training round: compute gradients, update ``u_i`` locally."""
-        if self.resample_negatives or self._negatives.shape[0] < self.positives.shape[0]:
-            self._negatives = self._sample_negatives(self.positives, self.positives.shape[0])
-        negatives = self._negatives[: self.positives.shape[0]]
-        positives = self.positives[: negatives.shape[0]]
+        positives, negatives = self.draw_pairs()
         return self._train_on_profile(positives, negatives, item_factors, scorer)
 
 

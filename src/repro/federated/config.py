@@ -52,6 +52,13 @@ class FederatedConfig:
         ``Theta``); if False it is plain MF with the dot product.
     scorer_hidden_units:
         Hidden width of the MLP scorer when enabled.
+    engine:
+        Which round engine the simulation uses: ``"vectorized"`` (default)
+        trains every selected benign client of a round in stacked numpy
+        operations, ``"loop"`` keeps the original one-client-at-a-time
+        reference implementation.  Both consume identical per-client random
+        streams, so they produce matching results up to floating-point
+        summation order.
     """
 
     num_factors: int = 32
@@ -68,6 +75,7 @@ class FederatedConfig:
     aggregator_options: dict = field(default_factory=dict)
     use_learnable_scorer: bool = False
     scorer_hidden_units: int = 32
+    engine: str = "vectorized"
 
     def validate(self) -> None:
         """Raise :class:`ConfigurationError` on inconsistent settings."""
@@ -89,3 +97,7 @@ class FederatedConfig:
             raise ConfigurationError("init_scale must be positive")
         if self.scorer_hidden_units <= 0:
             raise ConfigurationError("scorer_hidden_units must be positive")
+        if self.engine not in ("loop", "vectorized"):
+            raise ConfigurationError(
+                f"engine must be 'loop' or 'vectorized', got {self.engine!r}"
+            )

@@ -1,0 +1,196 @@
+"""Vectorized round engine.
+
+:class:`BatchedRoundTrainer` performs one aggregation round's local training
+for *all* selected benign clients with stacked numpy operations instead of a
+per-client Python loop:
+
+* every client's (positives, negatives) pairs for the round are drawn through
+  the same per-client :meth:`BenignClient.draw_pairs` the loop engine uses
+  (so both engines consume identical per-client random streams),
+* the user vectors are stacked into a ``(B, k)`` matrix, the positive and
+  negative item vectors are gathered once, and the BPR margins, coefficients,
+  per-user losses and all gradients are computed in bulk
+  (:func:`repro.models.losses.bpr_loss_and_gradients_batched`),
+* the per-(client, item) gradient rows come out directly in the CSR-style
+  :class:`~repro.federated.updates.SparseRoundUpdates` layout the aggregators
+  consume without densifying.
+
+The MLP-scorer path is batched the same way through
+:meth:`MLPScorer.score_and_segment_gradients`, which returns per-client
+``Theta`` gradients in one call.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.federated.client import BenignClient
+from repro.federated.config import FederatedConfig
+from repro.federated.privacy import GaussianNoiseMechanism
+from repro.federated.updates import SparseRoundUpdates
+from repro.models.losses import (
+    BatchedBPRGradients,
+    bpr_loss_and_gradients_batched,
+    fold_by_key,
+    segment_sum,
+    sigmoid,
+)
+from repro.models.neural import MLPScorer
+
+__all__ = ["BatchedRoundTrainer"]
+
+
+class BatchedRoundTrainer:
+    """Trains a round's benign clients in one batched computation."""
+
+    def __init__(
+        self,
+        clients: dict[int, BenignClient],
+        config: FederatedConfig,
+        privacy: GaussianNoiseMechanism,
+        num_items: int,
+    ) -> None:
+        self._clients = clients
+        self._config = config
+        self._privacy = privacy
+        self._num_items = int(num_items)
+
+    def train_round(
+        self,
+        benign_ids: list[int],
+        item_factors: np.ndarray,
+        scorer: MLPScorer | None,
+    ) -> tuple[SparseRoundUpdates, float]:
+        """One local-training round for ``benign_ids``.
+
+        Returns the privatised sparse round structure plus the round's total
+        benign training loss (measured before privacy noise, like the loop
+        engine reports it).
+        """
+        num_clients = len(benign_ids)
+        num_factors = self._config.num_factors
+        if num_clients == 0:
+            empty = SparseRoundUpdates(
+                client_ids=np.empty(0, dtype=np.int64),
+                item_ids=np.empty(0, dtype=np.int64),
+                grad_rows=np.empty((0, num_factors), dtype=np.float64),
+                client_offsets=np.zeros(1, dtype=np.int64),
+                losses=np.empty(0, dtype=np.float64),
+                malicious_mask=np.empty(0, dtype=bool),
+            )
+            return empty, 0.0
+
+        clients = [self._clients[cid] for cid in benign_ids]
+        pair_lists = [client.draw_pairs() for client in clients]
+        counts = np.array([pairs[0].shape[0] for pairs in pair_lists], dtype=np.int64)
+        segment_ids = np.repeat(np.arange(num_clients, dtype=np.int64), counts)
+        positives = (
+            np.concatenate([pairs[0] for pairs in pair_lists])
+            if counts.sum() > 0
+            else np.empty(0, dtype=np.int64)
+        )
+        negatives = (
+            np.concatenate([pairs[1] for pairs in pair_lists])
+            if counts.sum() > 0
+            else np.empty(0, dtype=np.int64)
+        )
+        user_vectors = np.stack([client.user_vector for client in clients])
+
+        theta_gradients = None
+        theta_mask = None
+        if scorer is None:
+            batched = bpr_loss_and_gradients_batched(
+                user_vectors,
+                item_factors,
+                segment_ids,
+                positives,
+                negatives,
+                l2_reg=self._config.l2_reg,
+            )
+        else:
+            batched, theta_gradients = self._scorer_round(
+                user_vectors, item_factors, segment_ids, positives, negatives, scorer
+            )
+            theta_mask = np.ones(num_clients, dtype=bool)
+
+        stepped = user_vectors - self._config.learning_rate * batched.grad_users
+        for index, client in enumerate(clients):
+            client.user_vector = stepped[index].copy()
+            client.participation_count += 1
+
+        round_updates = SparseRoundUpdates(
+            client_ids=np.asarray(benign_ids, dtype=np.int64),
+            item_ids=batched.item_ids,
+            grad_rows=batched.grad_rows,
+            client_offsets=batched.segment_offsets,
+            losses=batched.losses,
+            malicious_mask=np.zeros(num_clients, dtype=bool),
+            theta_gradients=theta_gradients,
+            theta_mask=theta_mask,
+        )
+        round_updates = self._privacy.apply_round(round_updates)
+        return round_updates, float(batched.losses.sum())
+
+    def _scorer_round(
+        self,
+        user_vectors: np.ndarray,
+        item_factors: np.ndarray,
+        segment_ids: np.ndarray,
+        positives: np.ndarray,
+        negatives: np.ndarray,
+        scorer: MLPScorer,
+    ):
+        """Batched BPR-through-the-scorer gradients for a whole round.
+
+        Mirrors :meth:`Client._scorer_gradients` client by client: the same
+        margins, the same clipped-log loss, and per-(client, item) gradient
+        rows accumulated over the union of each client's positives and
+        negatives.
+        """
+        num_clients = user_vectors.shape[0]
+        num_factors = user_vectors.shape[1]
+        if positives.shape[0] == 0:
+            empty = BatchedBPRGradients(
+                losses=np.zeros(num_clients, dtype=np.float64),
+                grad_users=np.zeros((num_clients, num_factors), dtype=np.float64),
+                item_ids=np.empty(0, dtype=np.int64),
+                grad_rows=np.empty((0, num_factors), dtype=np.float64),
+                segment_offsets=np.zeros(num_clients + 1, dtype=np.int64),
+            )
+            return empty, np.zeros((num_clients, scorer.num_parameters), dtype=np.float64)
+
+        pair_users = user_vectors[segment_ids]
+        pos_scores = scorer.score(pair_users, item_factors[positives])
+        neg_scores = scorer.score(pair_users, item_factors[negatives])
+        margins = pos_scores - neg_scores
+        pair_losses = -np.log(np.clip(sigmoid(margins), 1e-12, 1.0))
+        losses = np.bincount(segment_ids, weights=pair_losses, minlength=num_clients)
+        coefficients = -sigmoid(-margins)
+
+        _, pos_grad_user, pos_grad_item, pos_params = scorer.score_and_segment_gradients(
+            pair_users, item_factors[positives], coefficients, segment_ids, num_clients
+        )
+        _, neg_grad_user, neg_grad_item, neg_params = scorer.score_and_segment_gradients(
+            pair_users, item_factors[negatives], -coefficients, segment_ids, num_clients
+        )
+        grad_users = segment_sum(pos_grad_user + neg_grad_user, segment_ids, num_clients)
+        theta_gradients = pos_params + neg_params
+
+        # Accumulate item rows per (client, item) exactly like the MF path.
+        num_items = self._num_items
+        keys = np.concatenate([segment_ids, segment_ids]) * num_items
+        keys += np.concatenate([positives, negatives])
+        all_rows = np.concatenate([pos_grad_item, neg_grad_item], axis=0)
+        unique_keys, grad_rows = fold_by_key(keys, all_rows)
+        item_ids = unique_keys % num_items
+        owners = unique_keys // num_items
+        segment_offsets = np.searchsorted(owners, np.arange(num_clients + 1))
+
+        batched = BatchedBPRGradients(
+            losses=losses,
+            grad_users=grad_users,
+            item_ids=item_ids,
+            grad_rows=grad_rows,
+            segment_offsets=segment_offsets,
+        )
+        return batched, theta_gradients

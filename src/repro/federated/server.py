@@ -14,7 +14,7 @@ import numpy as np
 from repro.exceptions import FederationError
 from repro.federated.aggregation import Aggregator, make_aggregator
 from repro.federated.config import FederatedConfig
-from repro.federated.updates import ClientUpdate
+from repro.federated.updates import ClientUpdate, SparseRoundUpdates
 from repro.models.neural import MLPScorer
 from repro.rng import ensure_rng
 
@@ -51,12 +51,22 @@ class Server:
         self.aggregator = aggregator or make_aggregator(
             config.aggregator, **config.aggregator_options
         )
-        #: Number of aggregation rounds applied so far.
+        #: Number of aggregation rounds applied so far (empty rounds included,
+        #: so this is the single authoritative round counter of a simulation).
         self.rounds_applied = 0
 
-    def apply_round(self, updates: list[ClientUpdate]) -> None:
-        """Aggregate the round's updates and apply one SGD step (Eq. 7)."""
-        if not updates:
+    def apply_round(self, updates: "list[ClientUpdate] | SparseRoundUpdates") -> None:
+        """Aggregate the round's updates and apply one SGD step (Eq. 7).
+
+        Accepts either a list of per-client updates (the loop engine and the
+        attacks produce these) or one :class:`SparseRoundUpdates` (the
+        vectorized engine).  A round with no uploads still counts towards
+        :attr:`rounds_applied` — every selection of clients is a protocol
+        round, whether or not anyone uploaded — but leaves the parameters
+        untouched.
+        """
+        self.rounds_applied += 1
+        if len(updates) == 0:
             return
         result = self.aggregator.aggregate(updates, self.num_items, self.num_factors)
         self.item_factors = self.item_factors - self.config.learning_rate * result.item_gradient
@@ -65,7 +75,6 @@ class Server:
             self.scorer.set_parameters(
                 parameters - self.config.learning_rate * result.theta_gradient
             )
-        self.rounds_applied += 1
 
     def snapshot_item_factors(self) -> np.ndarray:
         """A copy of the current item matrix (what clients receive each round)."""

@@ -7,6 +7,20 @@ epochs.  Every epoch it records the aggregate benign training loss, and at a
 configurable cadence it evaluates recommendation accuracy (HR@10 / NDCG@10 on
 the held-out items) and the attack's exposure metrics (ER@5 / ER@10 /
 NDCG@10 of the target items).
+
+Two round engines are available, selected by ``FederatedConfig.engine``:
+
+* ``"vectorized"`` (default) — :class:`~repro.federated.engine.BatchedRoundTrainer`
+  trains all of a round's benign clients in stacked numpy operations and
+  hands the server one CSR-style
+  :class:`~repro.federated.updates.SparseRoundUpdates` structure.
+* ``"loop"`` — the original one-client-at-a-time reference implementation.
+
+Both engines draw each client's training pairs through the same per-client
+random streams, so from identical seeds they produce matching training
+histories up to floating-point summation order.  Attack scheduling and the
+round counter are driven by the server's ``rounds_applied``, which counts
+every protocol round (empty ones included).
 """
 
 from __future__ import annotations
@@ -20,6 +34,7 @@ from repro.data.dataset import InteractionDataset
 from repro.exceptions import FederationError
 from repro.federated.client import BenignClient, MaliciousClient
 from repro.federated.config import FederatedConfig
+from repro.federated.engine import BatchedRoundTrainer
 from repro.federated.history import EpochRecord, TrainingHistory
 from repro.federated.privacy import GaussianNoiseMechanism
 from repro.federated.server import Server
@@ -84,6 +99,11 @@ class FederatedSimulation:
         if attack is not None and num_malicious == 0:
             raise FederationError("an attack requires at least one malicious client")
 
+        if evaluate_every is not None and evaluate_every <= 0:
+            raise FederationError(
+                f"evaluate_every must be positive (or None for the default), got {evaluate_every}"
+            )
+
         self.train = train
         self.config = config
         self.test_items = test_items
@@ -97,7 +117,6 @@ class FederatedSimulation:
         self.update_observer = update_observer
 
         self._seeds = seed if isinstance(seed, SeedSequenceFactory) else SeedSequenceFactory(seed)
-        self._round_index = 0
         self._schedule_rng = self._seeds.generator("schedule")
         self._eval_rng = self._seeds.generator("evaluation")
 
@@ -113,7 +132,15 @@ class FederatedSimulation:
         self._all_client_ids = np.array(
             sorted(self.benign_clients) + sorted(self.malicious_clients), dtype=np.int64
         )
+        self._trainer = BatchedRoundTrainer(
+            self.benign_clients, config, self.privacy, train.num_items
+        )
         self._setup_attack()
+
+    @property
+    def round_index(self) -> int:
+        """The authoritative round counter (the server's, empty rounds included)."""
+        return self.server.rounds_applied
 
     # ------------------------------------------------------------------ #
     # Construction helpers
@@ -181,7 +208,11 @@ class FederatedSimulation:
         epochs = self.config.num_epochs if num_epochs is None else int(num_epochs)
         if epochs <= 0:
             raise FederationError("num_epochs must be positive")
-        evaluate_every = self.evaluate_every or max(1, epochs // 10)
+        # Only None means "use the default cadence"; non-positive values were
+        # rejected at construction.
+        evaluate_every = (
+            self.evaluate_every if self.evaluate_every is not None else max(1, epochs // 10)
+        )
         history = TrainingHistory()
 
         for epoch in range(1, epochs + 1):
@@ -218,15 +249,45 @@ class FederatedSimulation:
 
     def _run_round(self, batch: np.ndarray) -> float:
         """One aggregation round over the selected ``batch`` of clients."""
+        round_index = self.server.rounds_applied
         selected_malicious = [int(cid) for cid in batch if int(cid) in self.malicious_clients]
         if self.attack is not None and selected_malicious:
             self.attack.on_round_start(
-                self._round_index,
+                round_index,
                 self.server.item_factors,
                 self.server.scorer,
                 selected_malicious,
             )
+        if self.config.engine == "vectorized":
+            return self._run_round_vectorized(batch, round_index, selected_malicious)
+        return self._run_round_loop(batch, round_index)
 
+    def _run_round_vectorized(
+        self, batch: np.ndarray, round_index: int, selected_malicious: list[int]
+    ) -> float:
+        """Batched round: all benign clients train in one stacked computation."""
+        benign_ids = [int(cid) for cid in batch if int(cid) in self.benign_clients]
+        round_updates, round_loss = self._trainer.train_round(
+            benign_ids, self.server.item_factors, self.server.scorer
+        )
+        if self.attack is not None and selected_malicious:
+            crafted = [
+                self.attack.craft_update(
+                    self.malicious_clients[cid],
+                    self.server.item_factors,
+                    self.server.scorer,
+                    round_index,
+                )
+                for cid in selected_malicious
+            ]
+            round_updates = round_updates.extended(u for u in crafted if u is not None)
+        if self.update_observer is not None:
+            self.update_observer(round_index, round_updates.to_client_updates())
+        self.server.apply_round(round_updates)
+        return round_loss
+
+    def _run_round_loop(self, batch: np.ndarray, round_index: int) -> float:
+        """Reference round engine: one client at a time (kept for equivalence)."""
         updates: list[ClientUpdate] = []
         round_loss = 0.0
         for cid in batch:
@@ -244,15 +305,14 @@ class FederatedSimulation:
                     self.malicious_clients[cid],
                     self.server.item_factors,
                     self.server.scorer,
-                    self._round_index,
+                    round_index,
                 )
             if update is not None:
                 updates.append(update)
 
         if self.update_observer is not None:
-            self.update_observer(self._round_index, updates)
+            self.update_observer(round_index, updates)
         self.server.apply_round(updates)
-        self._round_index += 1
         return round_loss
 
     # ------------------------------------------------------------------ #

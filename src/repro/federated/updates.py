@@ -1,21 +1,48 @@
-"""Client update container.
+"""Client update containers.
 
 Each selected client uploads the gradients of the shared parameters: a
 sparse set of item-embedding gradient rows (only the rows of items the client
 touched are non-zero, which is what the paper's ``kappa`` constraint counts)
 plus, when the interaction function is learnable, a dense gradient of
 ``Theta``.
+
+Two representations exist:
+
+* :class:`ClientUpdate` — one client's upload, the unit the per-client
+  ("loop") engine and the attack implementations produce.
+* :class:`SparseRoundUpdates` — a whole round's uploads in one CSR-style
+  structure (concatenated ``item_ids`` / ``grad_rows`` plus ``client_offsets``
+  delimiting each client's segment).  The vectorized round engine emits this
+  directly and the aggregators consume it without ever materialising a dense
+  ``(num_clients, num_items, k)`` tensor.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Iterable, Sequence
 
 import numpy as np
 
 from repro.exceptions import FederationError
+from repro.models.losses import segment_sum
 
-__all__ = ["ClientUpdate"]
+__all__ = ["ClientUpdate", "SparseRoundUpdates", "scatter_rows"]
+
+
+def scatter_rows(
+    item_ids: np.ndarray, grad_rows: np.ndarray, num_items: int, num_factors: int
+) -> np.ndarray:
+    """Sum sparse gradient rows into a dense ``(num_items, k)`` matrix.
+
+    Duplicated item ids accumulate.  Backed by the sparse indicator-matrix
+    product of :func:`repro.models.losses.segment_sum`, which is much faster
+    than ``np.add.at`` for the tens of thousands of rows a full round
+    produces.
+    """
+    if item_ids.shape[0] == 0:
+        return np.zeros((num_items, num_factors), dtype=np.float64)
+    return segment_sum(grad_rows, item_ids, num_items)
 
 
 @dataclass
@@ -93,3 +120,271 @@ class ClientUpdate:
             is_malicious=self.is_malicious,
             metadata=dict(self.metadata),
         )
+
+
+@dataclass
+class SparseRoundUpdates:
+    """One round's client uploads in a single CSR-style sparse structure.
+
+    Client ``i``'s item gradient lives in
+    ``item_ids[client_offsets[i]:client_offsets[i + 1]]`` /
+    ``grad_rows[client_offsets[i]:client_offsets[i + 1]]``; per-client scalar
+    metadata (loss, malicious flag, theta gradient) is stored in aligned
+    arrays of length ``num_clients``.
+
+    Attributes
+    ----------
+    client_ids:
+        Ids of the uploading clients, shape ``(B,)``.
+    item_ids:
+        Concatenated touched-item ids of all clients, shape ``(nnz,)``.
+    grad_rows:
+        Gradient rows aligned with ``item_ids``, shape ``(nnz, k)``.
+    client_offsets:
+        CSR offsets into ``item_ids`` / ``grad_rows``, shape ``(B + 1,)``.
+    losses:
+        Per-client local training losses, shape ``(B,)``.
+    malicious_mask:
+        Per-client attacker flags (analysis metadata only), shape ``(B,)``.
+    theta_gradients:
+        Per-client flat ``Theta`` gradients, shape ``(B, P)``, or ``None``
+        when no client uploaded one.
+    theta_mask:
+        Which rows of ``theta_gradients`` are real uploads (a client without
+        a theta gradient has a zero row and ``False`` here).
+    metadata:
+        Per-client metadata dictionaries (same role as
+        :attr:`ClientUpdate.metadata`); empty list means "all empty".
+    """
+
+    client_ids: np.ndarray
+    item_ids: np.ndarray
+    grad_rows: np.ndarray
+    client_offsets: np.ndarray
+    losses: np.ndarray
+    malicious_mask: np.ndarray
+    theta_gradients: np.ndarray | None = None
+    theta_mask: np.ndarray | None = None
+    metadata: list[dict] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self.client_ids = np.asarray(self.client_ids, dtype=np.int64)
+        self.item_ids = np.asarray(self.item_ids, dtype=np.int64)
+        self.grad_rows = np.asarray(self.grad_rows, dtype=np.float64)
+        self.client_offsets = np.asarray(self.client_offsets, dtype=np.int64)
+        self.losses = np.asarray(self.losses, dtype=np.float64)
+        self.malicious_mask = np.asarray(self.malicious_mask, dtype=bool)
+        num_clients = self.client_ids.shape[0]
+        if self.client_offsets.shape[0] != num_clients + 1:
+            raise FederationError("client_offsets must have num_clients + 1 entries")
+        if self.grad_rows.ndim != 2 or self.grad_rows.shape[0] != self.item_ids.shape[0]:
+            raise FederationError("grad_rows must have one row per item id")
+        if self.losses.shape[0] != num_clients or self.malicious_mask.shape[0] != num_clients:
+            raise FederationError("losses and malicious_mask must have one entry per client")
+        if (self.theta_gradients is None) != (self.theta_mask is None):
+            raise FederationError("theta_gradients and theta_mask must be given together")
+        if self.theta_gradients is not None:
+            self.theta_gradients = np.asarray(self.theta_gradients, dtype=np.float64)
+            self.theta_mask = np.asarray(self.theta_mask, dtype=bool)
+            if self.theta_gradients.shape[0] != num_clients:
+                raise FederationError("theta_gradients must have one row per client")
+
+    # ------------------------------------------------------------------ #
+    # Basic accessors
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return int(self.client_ids.shape[0])
+
+    @property
+    def num_clients(self) -> int:
+        """Number of clients that uploaded this round."""
+        return int(self.client_ids.shape[0])
+
+    @property
+    def num_factors(self) -> int:
+        """Feature dimensionality ``k`` of the gradient rows."""
+        return int(self.grad_rows.shape[1]) if self.grad_rows.ndim == 2 else 0
+
+    def segment(self, index: int) -> tuple[np.ndarray, np.ndarray]:
+        """Client ``index``'s ``(item_ids, grad_rows)`` slice."""
+        start, stop = self.client_offsets[index], self.client_offsets[index + 1]
+        return self.item_ids[start:stop], self.grad_rows[start:stop]
+
+    def client_metadata(self, index: int) -> dict:
+        """Metadata dictionary of client ``index`` (empty when absent)."""
+        return self.metadata[index] if self.metadata else {}
+
+    # ------------------------------------------------------------------ #
+    # Conversions
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_client_updates(
+        cls, updates: Sequence[ClientUpdate], num_factors: int | None = None
+    ) -> "SparseRoundUpdates":
+        """Pack a list of per-client updates into one sparse round structure."""
+        updates = list(updates)
+        if num_factors is None:
+            num_factors = updates[0].item_gradients.shape[1] if updates else 0
+        counts = [u.item_ids.shape[0] for u in updates]
+        offsets = np.zeros(len(updates) + 1, dtype=np.int64)
+        np.cumsum(counts, out=offsets[1:])
+        if updates:
+            item_ids = np.concatenate([u.item_ids for u in updates])
+            grad_rows = (
+                np.concatenate([u.item_gradients for u in updates], axis=0)
+                if int(offsets[-1]) > 0
+                else np.empty((0, num_factors), dtype=np.float64)
+            )
+        else:
+            item_ids = np.empty(0, dtype=np.int64)
+            grad_rows = np.empty((0, num_factors), dtype=np.float64)
+        theta_gradients = None
+        theta_mask = None
+        thetas = [u.theta_gradient for u in updates]
+        if any(theta is not None for theta in thetas):
+            width = next(t.shape[0] for t in thetas if t is not None)
+            theta_gradients = np.zeros((len(updates), width), dtype=np.float64)
+            theta_mask = np.zeros(len(updates), dtype=bool)
+            for index, theta in enumerate(thetas):
+                if theta is None:
+                    continue
+                if theta.shape[0] != width:
+                    raise FederationError("theta gradients must all have the same length")
+                theta_gradients[index] = theta
+                theta_mask[index] = True
+        metadata = [dict(u.metadata) for u in updates] if any(u.metadata for u in updates) else []
+        return cls(
+            client_ids=np.array([u.client_id for u in updates], dtype=np.int64),
+            item_ids=item_ids,
+            grad_rows=grad_rows,
+            client_offsets=offsets,
+            losses=np.array([u.loss for u in updates], dtype=np.float64),
+            malicious_mask=np.array([u.is_malicious for u in updates], dtype=bool),
+            theta_gradients=theta_gradients,
+            theta_mask=theta_mask,
+            metadata=metadata,
+        )
+
+    def to_client_updates(self) -> list[ClientUpdate]:
+        """Materialise the round as a list of per-client :class:`ClientUpdate`.
+
+        The returned updates hold *views* into this structure's arrays (no
+        per-segment copies), so the conversion is cheap even for large rounds;
+        treat them as read-only, exactly like the uploads the loop engine
+        hands to observers.
+        """
+        updates: list[ClientUpdate] = []
+        for index in range(self.num_clients):
+            ids, rows = self.segment(index)
+            theta = None
+            if self.theta_gradients is not None and bool(self.theta_mask[index]):
+                theta = self.theta_gradients[index]
+            updates.append(
+                ClientUpdate(
+                    client_id=int(self.client_ids[index]),
+                    item_ids=ids,
+                    item_gradients=rows,
+                    theta_gradient=theta,
+                    loss=float(self.losses[index]),
+                    is_malicious=bool(self.malicious_mask[index]),
+                    metadata=dict(self.client_metadata(index)),
+                )
+            )
+        return updates
+
+    def extended(self, extra: Iterable[ClientUpdate]) -> "SparseRoundUpdates":
+        """A new round structure with ``extra`` client updates appended."""
+        extra = list(extra)
+        if not extra:
+            return self
+        other = SparseRoundUpdates.from_client_updates(
+            extra, num_factors=self.num_factors if self.grad_rows.size else None
+        )
+        if self.grad_rows.size == 0:
+            grad_rows = other.grad_rows
+        elif other.grad_rows.size == 0:
+            grad_rows = self.grad_rows
+        else:
+            grad_rows = np.concatenate([self.grad_rows, other.grad_rows], axis=0)
+        theta_gradients = None
+        theta_mask = None
+        if self.theta_gradients is not None or other.theta_gradients is not None:
+            width = (
+                self.theta_gradients.shape[1]
+                if self.theta_gradients is not None
+                else other.theta_gradients.shape[1]
+            )
+            if (
+                self.theta_gradients is not None
+                and other.theta_gradients is not None
+                and other.theta_gradients.shape[1] != width
+            ):
+                raise FederationError("theta gradients must all have the same length")
+            total = self.num_clients + other.num_clients
+            theta_gradients = np.zeros((total, width), dtype=np.float64)
+            theta_mask = np.zeros(total, dtype=bool)
+            if self.theta_gradients is not None:
+                theta_gradients[: self.num_clients] = self.theta_gradients
+                theta_mask[: self.num_clients] = self.theta_mask
+            if other.theta_gradients is not None:
+                theta_gradients[self.num_clients :] = other.theta_gradients
+                theta_mask[self.num_clients :] = other.theta_mask
+        metadata: list[dict] = []
+        if self.metadata or other.metadata:
+            metadata = [dict(self.client_metadata(i)) for i in range(self.num_clients)]
+            metadata += [dict(other.client_metadata(i)) for i in range(other.num_clients)]
+        return SparseRoundUpdates(
+            client_ids=np.concatenate([self.client_ids, other.client_ids]),
+            item_ids=np.concatenate([self.item_ids, other.item_ids]),
+            grad_rows=grad_rows,
+            client_offsets=np.concatenate(
+                [self.client_offsets, self.client_offsets[-1] + other.client_offsets[1:]]
+            ),
+            losses=np.concatenate([self.losses, other.losses]),
+            malicious_mask=np.concatenate([self.malicious_mask, other.malicious_mask]),
+            theta_gradients=theta_gradients,
+            theta_mask=theta_mask,
+            metadata=metadata,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Aggregation helpers
+    # ------------------------------------------------------------------ #
+    def sum_item_gradient(self, num_items: int, num_factors: int) -> np.ndarray:
+        """Dense sum of all clients' item gradients (one scatter, Eq. 7)."""
+        return scatter_rows(self.item_ids, self.grad_rows, num_items, num_factors)
+
+    def sum_theta(self) -> np.ndarray | None:
+        """Sum of the uploaded theta gradients, or ``None`` when there are none."""
+        if self.theta_gradients is None or not bool(self.theta_mask.any()):
+            return None
+        return self.theta_gradients[self.theta_mask].sum(axis=0)
+
+    @property
+    def num_theta_contributors(self) -> int:
+        """Number of clients that actually uploaded a theta gradient."""
+        if self.theta_mask is None:
+            return 0
+        return int(self.theta_mask.sum())
+
+    def dense_over_union(self) -> tuple[np.ndarray, np.ndarray]:
+        """Per-client dense tensor restricted to the union of touched rows.
+
+        Returns ``(tensor, union)`` where ``union`` is the sorted array of
+        distinct touched item ids and ``tensor`` has shape
+        ``(num_clients, len(union), k)``.  Rows outside the union are zero for
+        every client, so robust coordinate-wise statistics computed on this
+        tensor match the full dense computation at a fraction of the memory.
+        """
+        union, columns = np.unique(self.item_ids, return_inverse=True)
+        num_clients = self.num_clients
+        num_factors = self.num_factors
+        width = union.shape[0]
+        if width == 0:
+            return np.zeros((num_clients, 0, num_factors)), union
+        rows = np.repeat(
+            np.arange(num_clients, dtype=np.int64), np.diff(self.client_offsets)
+        )
+        flat_ids = rows * width + columns
+        tensor = scatter_rows(flat_ids, self.grad_rows, num_clients * width, num_factors)
+        return tensor.reshape(num_clients, width, num_factors), union

@@ -19,6 +19,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.exceptions import ModelError
+from repro.models.losses import segment_sum
 from repro.rng import ensure_rng
 
 __all__ = ["MLPScorer", "MLPScorerGradients"]
@@ -144,6 +145,66 @@ class MLPScorer:
         return scores, MLPScorerGradients(
             grad_user=grad_user, grad_item=grad_item, grad_params=grad_params
         )
+
+    def score_and_segment_gradients(
+        self,
+        user_vectors: np.ndarray,
+        item_vectors: np.ndarray,
+        upstream: np.ndarray,
+        segments: np.ndarray,
+        num_segments: int,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Batched gradients with per-segment (per-client) ``Theta`` gradients.
+
+        Like :meth:`score_and_gradients`, but instead of summing the parameter
+        gradient over the whole batch it sums it per segment, so one call can
+        serve a whole round of clients: ``segments[i]`` assigns batch row ``i``
+        to a client and the returned parameter gradient has shape
+        ``(num_segments, num_parameters)``.
+
+        Returns ``(scores, grad_user, grad_item, grad_params_per_segment)``.
+        """
+        user_vectors, item_vectors = self._validate_batch(user_vectors, item_vectors)
+        segments = np.asarray(segments, dtype=np.int64)
+        upstream = np.asarray(upstream, dtype=np.float64)
+        inputs = np.concatenate([user_vectors, item_vectors], axis=1)
+        pre_activation = inputs @ self.w1.T + self.b1
+        hidden = np.maximum(pre_activation, 0.0)
+        scores = hidden @ self.w2 + self.b2
+
+        relu_mask = (pre_activation > 0.0).astype(np.float64)
+        grad_hidden = upstream[:, None] * self.w2[None, :] * relu_mask
+        grad_inputs = grad_hidden @ self.w1
+        grad_user = grad_inputs[:, : self.num_factors]
+        grad_item = grad_inputs[:, self.num_factors :]
+
+        if segments.shape[0] == 0:
+            zero_params = np.zeros((num_segments, self.num_parameters), dtype=np.float64)
+            return scores, grad_user, grad_item, zero_params
+
+        # grad_w1 per segment is a small GEMM (grad_hidden.T @ inputs over the
+        # segment's rows) — the same computation the per-client reference
+        # performs, without ever materialising a (batch, hidden * input) outer
+        # product for the whole round.
+        order = np.argsort(segments, kind="stable")
+        sorted_segments = segments[order]
+        grad_hidden_sorted = grad_hidden[order]
+        inputs_sorted = inputs[order]
+        boundaries = np.empty(sorted_segments.shape[0], dtype=bool)
+        boundaries[0] = True
+        np.not_equal(sorted_segments[1:], sorted_segments[:-1], out=boundaries[1:])
+        starts = np.flatnonzero(boundaries)
+        stops = np.append(starts[1:], sorted_segments.shape[0])
+        grad_w1 = np.zeros((num_segments, self.w1.size), dtype=np.float64)
+        for start, stop in zip(starts, stops):
+            grad_w1[int(sorted_segments[start])] = (
+                grad_hidden_sorted[start:stop].T @ inputs_sorted[start:stop]
+            ).ravel()
+        grad_b1 = segment_sum(grad_hidden, segments, num_segments)
+        grad_w2 = segment_sum(hidden, segments, num_segments, weights=upstream)
+        grad_b2 = np.bincount(segments, weights=upstream, minlength=num_segments)
+        grad_params = np.concatenate([grad_w1, grad_b1, grad_w2, grad_b2[:, None]], axis=1)
+        return scores, grad_user, grad_item, grad_params
 
     def _hidden(self, user_vectors: np.ndarray, item_vectors: np.ndarray) -> np.ndarray:
         inputs = np.concatenate([user_vectors, item_vectors], axis=1)

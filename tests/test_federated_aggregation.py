@@ -15,7 +15,7 @@ from repro.federated.aggregation import (
     TrimmedMeanAggregator,
     make_aggregator,
 )
-from repro.federated.updates import ClientUpdate
+from repro.federated.updates import ClientUpdate, SparseRoundUpdates
 
 NUM_ITEMS = 6
 NUM_FACTORS = 2
@@ -69,6 +69,18 @@ class TestMeanAggregator:
         mean = MeanAggregator().aggregate(benign_updates, NUM_ITEMS, NUM_FACTORS)
         np.testing.assert_allclose(mean.item_gradient, total.item_gradient / 3)
 
+    def test_theta_divided_by_contributors_not_all_clients(self, benign_updates):
+        # Regression: only two of the three clients upload a theta gradient;
+        # the average must divide by 2, not by len(updates) == 3.
+        benign_updates[0].theta_gradient = np.ones(4)
+        benign_updates[1].theta_gradient = 3 * np.ones(4)
+        result = MeanAggregator().aggregate(benign_updates, NUM_ITEMS, NUM_FACTORS)
+        np.testing.assert_allclose(result.theta_gradient, 2 * np.ones(4))
+
+    def test_theta_none_when_no_contributors(self, benign_updates):
+        result = MeanAggregator().aggregate(benign_updates, NUM_ITEMS, NUM_FACTORS)
+        assert result.theta_gradient is None
+
 
 class TestRobustAggregators:
     def test_median_suppresses_single_outlier(self):
@@ -112,6 +124,30 @@ class TestRobustAggregators:
         result = KrumAggregator().aggregate([], NUM_ITEMS, NUM_FACTORS)
         np.testing.assert_allclose(result.item_gradient, 0.0)
 
+    def test_krum_scales_theta_like_item_gradient(self):
+        # Regression: the selected update's theta gradient must receive the
+        # same num_clients rescaling as its item gradient.
+        updates = [
+            _update(0, [0], [[1.0, 1.0]], theta=np.array([1.0, 2.0])),
+            _update(1, [0], [[1.05, 0.95]], theta=np.array([1.1, 1.9])),
+            _update(2, [0], [[0.95, 1.05]], theta=np.array([0.9, 2.1])),
+            _update(3, [0], [[500.0, -500.0]], theta=np.array([100.0, -100.0]), malicious=True),
+        ]
+        result = KrumAggregator(num_malicious=1).aggregate(updates, NUM_ITEMS, NUM_FACTORS)
+        selected = np.argmax(
+            [np.allclose(result.item_gradient[0], 4 * u.item_gradients[0]) for u in updates]
+        )
+        np.testing.assert_allclose(result.theta_gradient, 4 * updates[selected].theta_gradient)
+
+    def test_krum_theta_none_when_selected_has_none(self):
+        updates = [
+            _update(0, [0], [[1.0, 1.0]]),
+            _update(1, [0], [[1.05, 0.95]]),
+            _update(2, [0], [[0.95, 1.05]]),
+        ]
+        result = KrumAggregator(num_malicious=0).aggregate(updates, NUM_ITEMS, NUM_FACTORS)
+        assert result.theta_gradient is None
+
     def test_norm_bounding_limits_each_row(self):
         updates = [
             _update(0, [0], [[30.0, 40.0]]),
@@ -130,6 +166,52 @@ class TestRobustAggregators:
     def test_median_empty_round(self):
         result = MedianAggregator().aggregate([], NUM_ITEMS, NUM_FACTORS)
         np.testing.assert_allclose(result.item_gradient, 0.0)
+
+
+class TestSparseInputParity:
+    """Every rule must give identical results for list and sparse inputs."""
+
+    @pytest.mark.parametrize(
+        "name, options",
+        [
+            ("sum", {}),
+            ("mean", {}),
+            ("trimmed_mean", {"trim_ratio": 0.2}),
+            ("median", {}),
+            ("krum", {"num_malicious": 1}),
+            ("norm_bounding", {"max_row_norm": 1.0}),
+        ],
+    )
+    def test_list_and_sparse_agree(self, name, options):
+        rng = np.random.default_rng(11)
+        updates = [
+            ClientUpdate(
+                client_id=i,
+                item_ids=rng.choice(NUM_ITEMS, size=3, replace=False),
+                item_gradients=rng.normal(size=(3, NUM_FACTORS)),
+                theta_gradient=rng.normal(size=5) if i % 2 == 0 else None,
+            )
+            for i in range(6)
+        ]
+        packed = SparseRoundUpdates.from_client_updates(updates)
+        aggregator = make_aggregator(name, **options)
+        from_list = aggregator.aggregate(updates, NUM_ITEMS, NUM_FACTORS)
+        from_sparse = aggregator.aggregate(packed, NUM_ITEMS, NUM_FACTORS)
+        np.testing.assert_allclose(from_list.item_gradient, from_sparse.item_gradient)
+        if from_list.theta_gradient is None:
+            assert from_sparse.theta_gradient is None
+        else:
+            np.testing.assert_allclose(from_list.theta_gradient, from_sparse.theta_gradient)
+
+    def test_robust_rules_densify_only_union(self):
+        updates = [
+            _update(0, [0, 2], [[1.0, 0.0], [0.0, 1.0]]),
+            _update(1, [2], [[1.0, 1.0]]),
+        ]
+        packed = SparseRoundUpdates.from_client_updates(updates)
+        tensor, union = packed.dense_over_union()
+        assert tensor.shape == (2, 2, NUM_FACTORS)
+        np.testing.assert_array_equal(union, [0, 2])
 
 
 class TestFactory:

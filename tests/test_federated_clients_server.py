@@ -181,12 +181,14 @@ class TestServer:
         server.apply_round(updates)
         np.testing.assert_allclose(server.item_factors[2], before - 3.0)
 
-    def test_empty_round_is_noop(self):
+    def test_empty_round_leaves_parameters_untouched_but_counts(self):
         server = Server(NUM_ITEMS, FederatedConfig(num_factors=NUM_FACTORS), rng=0)
         before = server.item_factors.copy()
         server.apply_round([])
         np.testing.assert_array_equal(server.item_factors, before)
-        assert server.rounds_applied == 0
+        # An empty round is still a protocol round: the authoritative counter
+        # must advance so attack schedules cannot drift from it.
+        assert server.rounds_applied == 1
 
     def test_scorer_updated_from_theta_gradient(self):
         config = FederatedConfig(

@@ -189,3 +189,80 @@ class TestTraining:
         simulation = _simulation(small_split, small_targets, noise_scale=0.1)
         result = simulation.run()
         assert np.isfinite(result.history.training_loss()).all()
+
+
+class TestEvaluateEvery:
+    def test_zero_rejected(self, small_split, small_targets):
+        # Regression: an explicit 0 used to be silently coerced to the
+        # default cadence by `evaluate_every or ...`.
+        with pytest.raises(FederationError):
+            FederatedSimulation(
+                train=small_split.train,
+                config=FederatedConfig(num_factors=8, num_epochs=2),
+                target_items=small_targets,
+                seed=SeedSequenceFactory(0),
+                evaluate_every=0,
+            )
+
+    def test_negative_rejected(self, small_split, small_targets):
+        with pytest.raises(FederationError):
+            FederatedSimulation(
+                train=small_split.train,
+                config=FederatedConfig(num_factors=8, num_epochs=2),
+                target_items=small_targets,
+                seed=SeedSequenceFactory(0),
+                evaluate_every=-3,
+            )
+
+    def test_none_means_default_cadence(self, small_split, small_targets):
+        config = FederatedConfig(num_factors=8, clients_per_round=32, num_epochs=4)
+        simulation = FederatedSimulation(
+            train=small_split.train,
+            config=config,
+            test_items=small_split.test_items,
+            target_items=small_targets,
+            seed=SeedSequenceFactory(0),
+            evaluate_every=None,
+            eval_num_negatives=10,
+        )
+        result = simulation.run()
+        # Default cadence for 4 epochs is max(1, 4 // 10) == 1: every epoch.
+        np.testing.assert_array_equal(result.history.evaluated_epochs(), [1, 2, 3, 4])
+
+
+class TestRoundCounter:
+    def test_server_counter_is_authoritative(self, small_split, small_targets):
+        observed = []
+        config = FederatedConfig(num_factors=8, clients_per_round=32, num_epochs=2)
+        simulation = FederatedSimulation(
+            train=small_split.train,
+            config=config,
+            test_items=small_split.test_items,
+            target_items=small_targets,
+            seed=SeedSequenceFactory(0),
+            update_observer=lambda round_index, updates: observed.append(round_index),
+        )
+        simulation.run()
+        # The observer's round indices must be exactly the server's counter.
+        assert observed == list(range(simulation.server.rounds_applied))
+        assert simulation.round_index == simulation.server.rounds_applied
+
+    def test_empty_rounds_still_counted(self, small_split, small_targets):
+        # A round whose only selected clients are malicious with no attack
+        # uploads nothing — the counter must still advance.
+        from repro.attacks.base import NoAttack
+
+        config = FederatedConfig(num_factors=8, clients_per_round=32, num_epochs=1)
+        simulation = FederatedSimulation(
+            train=small_split.train,
+            config=config,
+            test_items=small_split.test_items,
+            target_items=small_targets,
+            attack=NoAttack(),
+            num_malicious=40,
+            seed=SeedSequenceFactory(2),
+        )
+        simulation.run()
+        total_clients = small_split.train.num_users + 40
+        rounds_per_epoch = int(np.ceil(total_clients / 32))
+        assert simulation.server.rounds_applied == rounds_per_epoch

@@ -7,7 +7,7 @@ import pytest
 
 from repro.exceptions import FederationError
 from repro.federated.privacy import GaussianNoiseMechanism, clip_rows
-from repro.federated.updates import ClientUpdate
+from repro.federated.updates import ClientUpdate, SparseRoundUpdates, scatter_rows
 
 
 def _make_update(rows=None, ids=None, malicious=False):
@@ -144,3 +144,158 @@ class TestGaussianNoiseMechanism:
             GaussianNoiseMechanism(noise_scale=-1.0, clip_norm=1.0)
         with pytest.raises(FederationError):
             GaussianNoiseMechanism(noise_scale=0.0, clip_norm=0.0)
+
+
+def _round_fixture():
+    updates = [
+        ClientUpdate(
+            client_id=0,
+            item_ids=np.array([1, 4]),
+            item_gradients=np.array([[1.0, 2.0], [3.0, 4.0]]),
+            theta_gradient=np.array([1.0, 1.0, 1.0]),
+            loss=0.5,
+        ),
+        ClientUpdate(
+            client_id=3,
+            item_ids=np.array([4]),
+            item_gradients=np.array([[5.0, 6.0]]),
+            loss=0.25,
+            is_malicious=True,
+            metadata={"attack": "x"},
+        ),
+        ClientUpdate(
+            client_id=7,
+            item_ids=np.empty(0, dtype=np.int64),
+            item_gradients=np.empty((0, 2)),
+        ),
+    ]
+    return updates, SparseRoundUpdates.from_client_updates(updates)
+
+
+class TestSparseRoundUpdates:
+    def test_csr_layout(self):
+        _, packed = _round_fixture()
+        assert packed.num_clients == 3
+        assert len(packed) == 3
+        np.testing.assert_array_equal(packed.client_offsets, [0, 2, 3, 3])
+        np.testing.assert_array_equal(packed.client_ids, [0, 3, 7])
+        np.testing.assert_array_equal(packed.item_ids, [1, 4, 4])
+
+    def test_roundtrip_preserves_everything(self):
+        updates, packed = _round_fixture()
+        restored = packed.to_client_updates()
+        assert len(restored) == len(updates)
+        for original, copy in zip(updates, restored):
+            assert original.client_id == copy.client_id
+            np.testing.assert_array_equal(original.item_ids, copy.item_ids)
+            np.testing.assert_allclose(original.item_gradients, copy.item_gradients)
+            assert original.loss == copy.loss
+            assert original.is_malicious == copy.is_malicious
+            assert original.metadata == copy.metadata
+            if original.theta_gradient is None:
+                assert copy.theta_gradient is None
+            else:
+                np.testing.assert_allclose(original.theta_gradient, copy.theta_gradient)
+
+    def test_sum_item_gradient_matches_dense_sum(self):
+        updates, packed = _round_fixture()
+        expected = sum(u.to_dense(10, 2) for u in updates)
+        np.testing.assert_allclose(packed.sum_item_gradient(10, 2), expected)
+
+    def test_sum_theta_counts_contributors(self):
+        _, packed = _round_fixture()
+        np.testing.assert_allclose(packed.sum_theta(), [1.0, 1.0, 1.0])
+        assert packed.num_theta_contributors == 1
+
+    def test_extended_appends_clients(self):
+        _, packed = _round_fixture()
+        extra = ClientUpdate(
+            client_id=9,
+            item_ids=np.array([0]),
+            item_gradients=np.array([[7.0, 8.0]]),
+            is_malicious=True,
+        )
+        merged = packed.extended([extra])
+        assert merged.num_clients == 4
+        np.testing.assert_array_equal(merged.client_ids, [0, 3, 7, 9])
+        np.testing.assert_array_equal(merged.client_offsets, [0, 2, 3, 3, 4])
+        assert bool(merged.malicious_mask[3])
+        # theta padding: the appended MF update carries no theta.
+        assert merged.num_theta_contributors == 1
+
+    def test_extended_with_nothing_is_identity(self):
+        _, packed = _round_fixture()
+        assert packed.extended([]) is packed
+
+    def test_empty_round_can_be_extended(self):
+        # Regression: an empty round built without num_factors used to carry
+        # (0, 0) grad_rows that crashed the concatenation in extended().
+        empty = SparseRoundUpdates.from_client_updates([])
+        extra = ClientUpdate(
+            client_id=2, item_ids=np.array([1]), item_gradients=np.array([[1.0, 2.0]])
+        )
+        merged = empty.extended([extra])
+        assert merged.num_clients == 1
+        assert merged.grad_rows.shape == (1, 2)
+        np.testing.assert_array_equal(merged.client_offsets, [0, 1])
+
+    def test_dense_over_union_matches_full_dense(self):
+        updates, packed = _round_fixture()
+        tensor, union = packed.dense_over_union()
+        np.testing.assert_array_equal(union, [1, 4])
+        full = np.stack([u.to_dense(10, 2) for u in updates])
+        np.testing.assert_allclose(tensor, full[:, union, :])
+
+    def test_offsets_must_align(self):
+        with pytest.raises(FederationError):
+            SparseRoundUpdates(
+                client_ids=np.array([0, 1]),
+                item_ids=np.array([2]),
+                grad_rows=np.ones((1, 2)),
+                client_offsets=np.array([0, 1]),
+                losses=np.zeros(2),
+                malicious_mask=np.zeros(2, dtype=bool),
+            )
+
+
+class TestScatterRows:
+    def test_accumulates_duplicates(self):
+        dense = scatter_rows(
+            np.array([2, 2, 0]), np.array([[1.0, 0.0], [2.0, 0.0], [0.0, 5.0]]), 4, 2
+        )
+        np.testing.assert_allclose(dense[2], [3.0, 0.0])
+        np.testing.assert_allclose(dense[0], [0.0, 5.0])
+
+    def test_empty(self):
+        dense = scatter_rows(np.empty(0, dtype=np.int64), np.empty((0, 2)), 4, 2)
+        np.testing.assert_allclose(dense, np.zeros((4, 2)))
+
+
+class TestApplyRound:
+    def test_noop_fast_path_returns_same_object(self):
+        mechanism = GaussianNoiseMechanism(noise_scale=0.0, clip_norm=1.0)
+        _, packed = _round_fixture()
+        assert mechanism.apply_round(packed) is packed
+
+    def test_matches_per_update_apply(self):
+        # The sparse path must add the exact same noise as applying the
+        # mechanism to the same clients one at a time.
+        updates, packed = _round_fixture()
+        mech_a = GaussianNoiseMechanism(
+            noise_scale=0.5, clip_norm=1.0, clip_before_noise=True, rng=123
+        )
+        mech_b = GaussianNoiseMechanism(
+            noise_scale=0.5, clip_norm=1.0, clip_before_noise=True, rng=123
+        )
+        one_by_one = [mech_a.apply(u) for u in updates]
+        batched = mech_b.apply_round(packed).to_client_updates()
+        for expected, actual in zip(one_by_one, batched):
+            np.testing.assert_allclose(expected.item_gradients, actual.item_gradients)
+            if expected.theta_gradient is not None:
+                np.testing.assert_allclose(expected.theta_gradient, actual.theta_gradient)
+
+    def test_original_round_not_mutated(self):
+        _, packed = _round_fixture()
+        before = packed.grad_rows.copy()
+        GaussianNoiseMechanism(noise_scale=0.5, clip_norm=1.0, rng=0).apply_round(packed)
+        np.testing.assert_array_equal(packed.grad_rows, before)
