@@ -1,14 +1,24 @@
 """Benchmark: loop vs vectorized round-engine throughput.
 
-Runs federated training rounds on a synthetic dataset with the exact
-MovieLens-100K shape (943 users / 1,682 items / 100,000 interactions) and the
-paper's protocol defaults (k = 32, 256 clients per round), measuring
-rounds/sec for both engines.  The vectorized engine must be at least 3x
-faster; both engines consume identical per-client random streams, so the
-speedup is free of any accuracy trade-off (see
+Two measurements, both on synthetic datasets with the exact shapes of the
+paper's evaluation datasets (Table II) and the protocol defaults (k = 32,
+256 clients per round):
+
+* ``test_perf_engine`` — benign federated rounds at the MovieLens-100K,
+  MovieLens-1M and Steam-200K shapes, measuring rounds/sec for both engines
+  so the perf trajectory is tracked across PRs.  The vectorized engine must
+  be at least 3x faster at the ml-100k gate shape.
+* ``test_perf_attack_rounds`` — attack-enabled rounds (FedRecAttack with its
+  user-matrix approximation refresh and poisoned-gradient construction every
+  round) at the ml-100k shape.  The vectorized attacker pipeline must be at
+  least 3x faster than the per-user loop reference.
+
+Both engines consume identical per-client random streams, so the speedups
+are free of any accuracy trade-off (see
 ``tests/test_federated_engine_equivalence.py``).
 
-Results land in ``benchmarks/results/perf_engine.json`` (and ``.txt``).
+Results land in ``benchmarks/results/perf_engine.json`` / ``.txt`` and
+``benchmarks/results/perf_attack.json`` / ``.txt``.
 """
 
 from __future__ import annotations
@@ -20,7 +30,9 @@ import numpy as np
 
 from conftest import RESULTS_DIR, run_once
 
+from repro.attacks.fedrecattack import FedRecAttack, FedRecAttackConfig
 from repro.data.presets import get_preset
+from repro.data.public import sample_public_interactions
 from repro.data.synthetic import SyntheticConfig, generate_synthetic_dataset
 from repro.federated.config import FederatedConfig
 from repro.federated.simulation import FederatedSimulation
@@ -28,11 +40,30 @@ from repro.rng import SeedSequenceFactory
 
 NUM_FACTORS = 32
 CLIENTS_PER_ROUND = 256
-MEASURED_EPOCHS = 5
 MIN_SPEEDUP = 3.0
+GATE_SHAPE = "ml-100k"
+
+#: (measured rounds, interleaved repeats) per dataset shape.  The larger
+#: shapes run fewer repeats so the whole sweep stays laptop-friendly; the
+#: ml-100k gate shape keeps the most careful measurement.
+SHAPES: dict[str, tuple[int, int]] = {
+    "ml-100k": (8, 3),
+    "ml-1m": (8, 2),
+    "steam-200k": (8, 2),
+}
+
+ENGINES = ("loop", "vectorized")
 
 
-def _build_simulation(dataset, engine: str) -> FederatedSimulation:
+def _build_dataset(name: str):
+    preset = get_preset(name)
+    return preset, generate_synthetic_dataset(
+        SyntheticConfig.from_preset(preset),
+        SeedSequenceFactory(2022).generator(f"perf-data-{name}"),
+    )
+
+
+def _build_simulation(dataset, engine: str, **kwargs) -> FederatedSimulation:
     config = FederatedConfig(
         num_factors=NUM_FACTORS,
         learning_rate=0.01,
@@ -44,61 +75,170 @@ def _build_simulation(dataset, engine: str) -> FederatedSimulation:
         train=dataset,
         config=config,
         test_items=None,
-        target_items=None,
         seed=SeedSequenceFactory(2022),
+        **kwargs,
     )
 
 
-def _measure() -> dict:
-    preset = get_preset("ml-100k")
-    dataset = generate_synthetic_dataset(
-        SyntheticConfig.from_preset(preset), SeedSequenceFactory(2022).generator("perf-data")
-    )
-    rounds_per_epoch = int(np.ceil(dataset.num_users / CLIENTS_PER_ROUND))
-    simulations = {engine: _build_simulation(dataset, engine) for engine in ("loop", "vectorized")}
-    elapsed: dict[str, list[float]] = {engine: [] for engine in simulations}
+def _round_batches(simulation: FederatedSimulation, num_rounds: int) -> list[np.ndarray]:
+    """The first ``num_rounds`` client batches, drawing fresh epochs as needed."""
+    batches: list[np.ndarray] = []
+    while len(batches) < num_rounds:
+        order = simulation._schedule_rng.permutation(simulation._all_client_ids)
+        for start in range(0, order.shape[0], CLIENTS_PER_ROUND):
+            batches.append(order[start : start + CLIENTS_PER_ROUND])
+            if len(batches) == num_rounds:
+                break
+    return batches
+
+
+def _time_rounds(simulation: FederatedSimulation, num_rounds: int) -> float:
+    """Wall-clock seconds for ``num_rounds`` further training rounds."""
+    batches = _round_batches(simulation, num_rounds)
+    start = time.perf_counter()
+    for batch in batches:
+        simulation._run_round(batch)
+    return time.perf_counter() - start
+
+
+def _throughput(
+    simulations: dict[str, FederatedSimulation], measured_rounds: int, repeats: int
+) -> dict:
+    """Interleaved best-of-``repeats`` rounds/sec for every engine.
+
+    Each pass warms up first (allocators, caches, lazy imports — and, for
+    attack runs, the expensive initial approximation epochs).  The engines
+    are interleaved and each keeps its best pass, so scheduler hiccups and
+    CPU-frequency drift on shared boxes cannot skew the ratio.
+    """
     for simulation in simulations.values():
-        simulation._run_epoch()  # warm-up: allocators, caches, lazy imports
-    # Interleave the engines and keep each one's best epoch, so scheduler
-    # hiccups and CPU-frequency drift on shared boxes cannot skew the ratio.
-    for _ in range(MEASURED_EPOCHS):
+        _time_rounds(simulation, 2)
+    best = {engine: float("inf") for engine in simulations}
+    for _ in range(repeats):
         for engine, simulation in simulations.items():
-            start = time.perf_counter()
-            simulation._run_epoch()
-            elapsed[engine].append(time.perf_counter() - start)
-    loop_rps = rounds_per_epoch / min(elapsed["loop"])
-    vectorized_rps = rounds_per_epoch / min(elapsed["vectorized"])
+            best[engine] = min(best[engine], _time_rounds(simulation, measured_rounds))
+    loop_rps = measured_rounds / best["loop"]
+    vectorized_rps = measured_rounds / best["vectorized"]
     return {
-        "dataset": preset.name,
-        "num_users": preset.num_users,
-        "num_items": preset.num_items,
         "num_factors": NUM_FACTORS,
         "clients_per_round": CLIENTS_PER_ROUND,
+        "measured_rounds": measured_rounds,
         "loop_rounds_per_sec": loop_rps,
         "vectorized_rounds_per_sec": vectorized_rps,
         "speedup": vectorized_rps / loop_rps,
     }
 
 
+def _measure_shape(name: str, measured_rounds: int, repeats: int) -> dict:
+    preset, dataset = _build_dataset(name)
+    simulations = {engine: _build_simulation(dataset, engine) for engine in ENGINES}
+    return {
+        "dataset": preset.name,
+        "num_users": preset.num_users,
+        "num_items": preset.num_items,
+        "num_interactions": preset.num_interactions,
+        **_throughput(simulations, measured_rounds, repeats),
+    }
+
+
+def _measure_engines() -> dict:
+    return {
+        "shapes": [
+            _measure_shape(name, measured_rounds, repeats)
+            for name, (measured_rounds, repeats) in SHAPES.items()
+        ]
+    }
+
+
 def test_perf_engine(benchmark, save_result):
-    payload = run_once(benchmark, _measure)
+    payload = run_once(benchmark, _measure_engines)
 
     (RESULTS_DIR / "perf_engine.json").write_text(
         json.dumps(payload, indent=2) + "\n", encoding="utf-8"
     )
+    lines = ["Round-engine throughput (synthetic paper shapes, k=32, 256 clients/round)"]
+    for shape in payload["shapes"]:
+        lines += [
+            f"{shape['dataset']} ({shape['num_users']} users / {shape['num_items']} items)",
+            f"  loop engine:       {shape['loop_rounds_per_sec']:8.2f} rounds/sec",
+            f"  vectorized engine: {shape['vectorized_rounds_per_sec']:8.2f} rounds/sec",
+            f"  speedup:           {shape['speedup']:8.2f}x",
+        ]
+    save_result("perf_engine", "\n".join(lines))
+
+    gate = next(s for s in payload["shapes"] if s["dataset"] == GATE_SHAPE)
+    assert gate["speedup"] >= MIN_SPEEDUP, (
+        f"vectorized engine is only {gate['speedup']:.2f}x faster than the loop engine "
+        f"at the {GATE_SHAPE} shape (required: {MIN_SPEEDUP}x)"
+    )
+
+
+# --------------------------------------------------------------------------- #
+# Attack-enabled rounds
+# --------------------------------------------------------------------------- #
+
+ATTACK_MEASURED_ROUNDS = 8
+ATTACK_REPEATS = 2
+ATTACK_XI = 0.01
+ATTACK_RHO = 0.05
+
+
+def _build_attack_simulation(dataset, public, engine: str) -> FederatedSimulation:
+    popularity = dataset.item_popularity
+    target_items = np.argsort(popularity, kind="stable")[:5].astype(np.int64)
+    attack = FedRecAttack(
+        public,
+        FedRecAttackConfig(approx_epochs_initial=5, approx_epochs_per_round=2),
+    )
+    num_malicious = int(np.ceil(ATTACK_RHO * dataset.num_users))
+    return _build_simulation(
+        dataset,
+        engine,
+        target_items=target_items,
+        attack=attack,
+        num_malicious=num_malicious,
+    )
+
+
+def _measure_attack() -> dict:
+    preset, dataset = _build_dataset(GATE_SHAPE)
+    public = sample_public_interactions(
+        dataset, ATTACK_XI, rng=SeedSequenceFactory(2022).generator("perf-public")
+    )
+    simulations = {
+        engine: _build_attack_simulation(dataset, public, engine) for engine in ENGINES
+    }
+    return {
+        "dataset": preset.name,
+        "attack": "FedRecAttack",
+        "xi": ATTACK_XI,
+        "rho": ATTACK_RHO,
+        "active_public_users": int(public.users_with_public_interactions().shape[0]),
+        **_throughput(simulations, ATTACK_MEASURED_ROUNDS, ATTACK_REPEATS),
+    }
+
+
+def test_perf_attack_rounds(benchmark, save_result):
+    payload = run_once(benchmark, _measure_attack)
+
+    (RESULTS_DIR / "perf_attack.json").write_text(
+        json.dumps(payload, indent=2) + "\n", encoding="utf-8"
+    )
     save_result(
-        "perf_engine",
+        "perf_attack",
         "\n".join(
             [
-                "Round-engine throughput (synthetic ML-100K shape, k=32, 256 clients/round)",
-                f"  loop engine:       {payload['loop_rounds_per_sec']:8.2f} rounds/sec",
-                f"  vectorized engine: {payload['vectorized_rounds_per_sec']:8.2f} rounds/sec",
-                f"  speedup:           {payload['speedup']:8.2f}x",
+                "Attack-enabled round throughput (FedRecAttack, synthetic ML-100K shape,",
+                f"xi={ATTACK_XI}, rho={ATTACK_RHO}, k={NUM_FACTORS}, "
+                f"{CLIENTS_PER_ROUND} clients/round)",
+                f"  loop attacker:       {payload['loop_rounds_per_sec']:8.2f} rounds/sec",
+                f"  vectorized attacker: {payload['vectorized_rounds_per_sec']:8.2f} rounds/sec",
+                f"  speedup:             {payload['speedup']:8.2f}x",
             ]
         ),
     )
 
     assert payload["speedup"] >= MIN_SPEEDUP, (
-        f"vectorized engine is only {payload['speedup']:.2f}x faster than the loop engine "
-        f"(required: {MIN_SPEEDUP}x)"
+        f"vectorized attacker pipeline is only {payload['speedup']:.2f}x faster than the "
+        f"loop attacker (required: {MIN_SPEEDUP}x)"
     )

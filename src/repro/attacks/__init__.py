@@ -19,6 +19,7 @@ from repro.attacks.fedrecattack import (
     FedRecAttack,
     FedRecAttackConfig,
     attack_loss_and_gradient,
+    attack_loss_and_gradient_vectorized,
     g_function,
 )
 from repro.attacks.model_poisoning import GradientBoostingAttack, LittleIsEnoughAttack
@@ -35,6 +36,7 @@ __all__ = [
     "FedRecAttack",
     "FedRecAttackConfig",
     "attack_loss_and_gradient",
+    "attack_loss_and_gradient_vectorized",
     "g_function",
     "RandomAttack",
     "BandwagonAttack",

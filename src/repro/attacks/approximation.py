@@ -12,6 +12,20 @@ users that have at least one public interaction are updated — for the others
 no gradient exists, so their approximated vectors stay at their random
 initialisation and contribute (essentially) nothing to the attack loss, which
 matches the ablation result that the attack collapses at ``xi = 0``.
+
+Two implementations of the SGD pass exist, selected by ``engine`` (the same
+switch as :attr:`repro.federated.config.FederatedConfig.engine`):
+
+* ``"vectorized"`` (default) — one call to
+  :func:`repro.models.losses.bpr_coefficients_batched` per epoch over
+  all active users' stacked vectors.  Within an epoch the per-user updates
+  are independent (each touches only its own row of ``U`` while ``V`` stays
+  fixed), so batching the whole epoch is exact, not an approximation.
+* ``"loop"`` — the original one-user-at-a-time reference implementation.
+
+Both engines draw each user's negative samples through the same attack RNG in
+the same order, so from identical seeds they produce matching approximations
+up to floating-point summation order.
 """
 
 from __future__ import annotations
@@ -21,7 +35,7 @@ import numpy as np
 from repro.data.negative_sampling import sample_uniform_negatives
 from repro.data.public import PublicInteractions
 from repro.exceptions import AttackError
-from repro.models.losses import bpr_loss_and_gradients
+from repro.models.losses import bpr_coefficients_batched, bpr_loss_and_gradients
 from repro.rng import ensure_rng
 
 __all__ = ["UserMatrixApproximator"]
@@ -45,6 +59,10 @@ class UserMatrixApproximator:
         Scale of the random initialisation.
     rng:
         Attack-private randomness.
+    engine:
+        ``"vectorized"`` batches each SGD epoch over all active users;
+        ``"loop"`` is the per-user reference path.  Identical RNG streams,
+        matching results.
     """
 
     def __init__(
@@ -55,25 +73,56 @@ class UserMatrixApproximator:
         l2_reg: float = 1e-4,
         init_scale: float = 0.01,
         rng: np.random.Generator | int | None = None,
+        engine: str = "vectorized",
     ) -> None:
         if num_factors <= 0:
             raise AttackError("num_factors must be positive")
         if learning_rate <= 0:
             raise AttackError("learning_rate must be positive")
+        if engine not in ("loop", "vectorized"):
+            raise AttackError(f"engine must be 'loop' or 'vectorized', got {engine!r}")
         self.public = public
         self.num_factors = int(num_factors)
         self.learning_rate = float(learning_rate)
         self.l2_reg = float(l2_reg)
+        self.engine = engine
         self._rng = ensure_rng(rng)
         num_users = public.dataset.num_users
         self.user_factors = self._rng.normal(0.0, init_scale, size=(num_users, num_factors))
         self._active_users = public.users_with_public_interactions()
         self._num_items = public.dataset.num_items
+        # The public set is static, so each active user's positives and the
+        # boolean mask the negative sampler consumes are cached once; both
+        # engines share the cache, and it changes neither RNG stream nor
+        # numerics — only the per-call mask rebuild goes away.  The cached
+        # arrays are private copies frozen read-only: the masks are derived
+        # from them, so a mutation through :attr:`active_public_items` would
+        # silently desynchronize the two caches.
+        positives_list = []
+        for user in self._active_users:
+            positives = public.positive_items(int(user)).copy()
+            positives.setflags(write=False)
+            positives_list.append(positives)
+        self._positives: tuple[np.ndarray, ...] = tuple(positives_list)
+        self._positive_masks = np.zeros((self._active_users.shape[0], self._num_items), dtype=bool)
+        for row, positives in enumerate(self._positives):
+            self._positive_masks[row, positives] = True
 
     @property
     def active_users(self) -> np.ndarray:
         """Users the attacker can actually approximate (>= 1 public interaction)."""
         return self._active_users
+
+    @property
+    def active_public_items(self) -> tuple[np.ndarray, ...]:
+        """Cached public positives aligned with :attr:`active_users`.
+
+        Consumers computing per-user statistics over the same active set
+        (e.g. the vectorized attack loss) can reuse this instead of
+        re-fetching each user's public items every round.  The arrays are
+        read-only (the negative-sampling masks are derived from them).
+        """
+        return self._positives
 
     def refresh(self, item_factors: np.ndarray, epochs: int = 1) -> None:
         """Run ``epochs`` SGD passes of Eq. (19) against the current ``V``.
@@ -88,17 +137,64 @@ class UserMatrixApproximator:
                 f"item_factors must have shape ({self._num_items}, {self.num_factors}), "
                 f"got {item_factors.shape}"
             )
-        if epochs <= 0:
+        if epochs <= 0 or self._active_users.shape[0] == 0:
             return
-        for _ in range(epochs):
-            for user in self._active_users:
-                self._update_user(int(user), item_factors)
+        if self.engine == "vectorized":
+            for _ in range(epochs):
+                self._epoch_vectorized(item_factors)
+        else:
+            for _ in range(epochs):
+                for row in range(self._active_users.shape[0]):
+                    self._update_user(row, item_factors)
 
-    def _update_user(self, user: int, item_factors: np.ndarray) -> None:
-        positives = self.public.positive_items(user)
+    # ------------------------------------------------------------------ #
+    # Vectorized epoch: one batched BPR call over all active users
+    # ------------------------------------------------------------------ #
+    def _epoch_vectorized(self, item_factors: np.ndarray) -> None:
+        """One SGD pass over every active user in stacked numpy operations.
+
+        Negative samples are drawn per user in the same order as the loop
+        engine (keeping the attack RNG streams identical); the gradient math
+        — the expensive part — runs once over the concatenated pairs.
+        """
+        positives_list: list[np.ndarray] = []
+        negatives_list: list[np.ndarray] = []
+        counts = np.zeros(self._active_users.shape[0], dtype=np.int64)
+        for row in range(self._active_users.shape[0]):
+            positives = self._positives[row]
+            negatives = self._sample_negatives(row, positives.shape[0])
+            if negatives.shape[0] < positives.shape[0]:
+                positives = positives[: negatives.shape[0]]
+            counts[row] = positives.shape[0]
+            positives_list.append(positives)
+            negatives_list.append(negatives)
+        total = int(counts.sum())
+        if total == 0:
+            return
+        segment_ids = np.repeat(np.arange(counts.shape[0], dtype=np.int64), counts)
+        positives = np.concatenate(positives_list)
+        negatives = np.concatenate(negatives_list)
+        # Only the user-vector gradients are needed, so the coefficients-only
+        # kernel is used and the (nnz, k) item-gradient rows never exist.
+        batched = bpr_coefficients_batched(
+            self.user_factors[self._active_users],
+            item_factors,
+            segment_ids,
+            positives,
+            negatives,
+            l2_reg=self.l2_reg,
+        )
+        self.user_factors[self._active_users] -= self.learning_rate * batched.grad_users
+
+    # ------------------------------------------------------------------ #
+    # Loop reference path: one user at a time
+    # ------------------------------------------------------------------ #
+    def _update_user(self, row: int, item_factors: np.ndarray) -> None:
+        user = int(self._active_users[row])
+        positives = self._positives[row]
         if positives.shape[0] == 0:
             return
-        negatives = self._sample_negatives(positives, positives.shape[0])
+        negatives = self._sample_negatives(row, positives.shape[0])
         if negatives.shape[0] < positives.shape[0]:
             positives = positives[: negatives.shape[0]]
         gradients = bpr_loss_and_gradients(
@@ -108,7 +204,11 @@ class UserMatrixApproximator:
             self.user_factors[user] - self.learning_rate * gradients.grad_user
         )
 
-    def _sample_negatives(self, positives: np.ndarray, count: int) -> np.ndarray:
-        mask = np.zeros(self._num_items, dtype=bool)
-        mask[positives] = True
-        return sample_uniform_negatives(self._rng, self._num_items, count, mask)
+    def _sample_negatives(self, row: int, count: int) -> np.ndarray:
+        return sample_uniform_negatives(
+            self._rng,
+            self._num_items,
+            count,
+            self._positive_masks[row],
+            num_positives=self._positives[row].shape[0],
+        )

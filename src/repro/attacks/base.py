@@ -60,6 +60,15 @@ class AttackContext:
         threat model; every federated attack must ignore it.
     rng:
         Attack-private randomness.
+    engine:
+        The computation engine the attack should use for its own hot loops,
+        propagated from :attr:`repro.federated.config.FederatedConfig.engine`
+        by the simulation.  ``"vectorized"`` selects the stacked-numpy
+        attacker pipeline (user-matrix approximation and attack-loss
+        gradients computed over all active users at once); ``"loop"`` keeps
+        the per-user reference implementations.  Both consume identical
+        random streams and produce matching results up to floating-point
+        summation order.
     """
 
     num_items: int
@@ -71,6 +80,7 @@ class AttackContext:
     item_popularity: np.ndarray | None = None
     full_train: InteractionDataset | None = None
     rng: np.random.Generator = field(default_factory=np.random.default_rng)
+    engine: str = "vectorized"
 
     def __post_init__(self) -> None:
         self.target_items = np.unique(np.asarray(self.target_items, dtype=np.int64))
@@ -78,6 +88,8 @@ class AttackContext:
             raise AttackError("target_items must not be empty")
         if self.target_items.min() < 0 or self.target_items.max() >= self.num_items:
             raise AttackError("target item id out of range")
+        if self.engine not in ("loop", "vectorized"):
+            raise AttackError(f"engine must be 'loop' or 'vectorized', got {self.engine!r}")
 
 
 class Attack(ABC):

@@ -12,11 +12,20 @@ Per round in which malicious clients participate, the attacker:
    sampled proportionally to their norms, Eq. 21-22), each row clipped to L2
    norm ``C`` (Eq. 23), and subtracts what was uploaded from the remaining
    poisoned gradient (Eq. 24) so the malicious cohort jointly covers it.
+
+Steps 1 and 2 exist in two implementations selected by
+:attr:`AttackContext.engine` (propagated from ``FederatedConfig.engine``):
+the per-user loop references (:func:`attack_loss_and_gradient` and the loop
+path of :class:`UserMatrixApproximator`) and the stacked-numpy pipeline
+(:func:`attack_loss_and_gradient_vectorized`, batched approximation).  Both
+consume identical attack-RNG streams and are equivalence-tested, so the
+engine choice changes wall-clock time only.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Sequence
 
 import numpy as np
 
@@ -27,9 +36,16 @@ from repro.exceptions import AttackError
 from repro.federated.client import MaliciousClient
 from repro.federated.privacy import clip_rows
 from repro.federated.updates import ClientUpdate
+from repro.models.losses import segment_sum
 from repro.models.neural import MLPScorer
 
-__all__ = ["FedRecAttackConfig", "FedRecAttack", "attack_loss_and_gradient", "g_function"]
+__all__ = [
+    "FedRecAttackConfig",
+    "FedRecAttack",
+    "attack_loss_and_gradient",
+    "attack_loss_and_gradient_vectorized",
+    "g_function",
+]
 
 
 def g_function(x: np.ndarray) -> np.ndarray:
@@ -181,6 +197,109 @@ def attack_loss_and_gradient(
     return total_loss, gradient
 
 
+def attack_loss_and_gradient_vectorized(
+    user_factors: np.ndarray,
+    item_factors: np.ndarray,
+    active_users: np.ndarray,
+    public: PublicInteractions,
+    target_items: np.ndarray,
+    top_k: int,
+    margin_mode: str = "saturating",
+    public_items: Sequence[np.ndarray] | None = None,
+) -> tuple[float, np.ndarray]:
+    """Stacked-numpy form of :func:`attack_loss_and_gradient`.
+
+    Computes every active user's scores in one GEMM, the per-user top-K and
+    recommendation boundary with row-wise ``argpartition`` / ``argmin``, and
+    the gradient with two scatter reductions (one GEMM onto the target rows,
+    one segment sum onto the boundary rows).  Matches the per-user reference
+    exactly up to floating-point summation order: ``argpartition`` and the
+    first-minimum tie-break run the same algorithm per row as the reference's
+    1-D calls, so both select identical top-K sets and boundary items.
+
+    ``public_items``, when given, is the list of each active user's public
+    positives aligned with ``active_users`` (e.g.
+    :attr:`UserMatrixApproximator.active_public_items`), saving the per-round
+    re-fetch from ``public``.
+    """
+    num_items, num_factors = item_factors.shape
+    active_users = np.asarray(active_users, dtype=np.int64)
+    # Deduplicate like AttackContext does: the target-row scatter below writes
+    # one row per distinct target, so duplicated ids would otherwise drop
+    # contributions the per-user reference accumulates.
+    target_items = np.unique(np.asarray(target_items, dtype=np.int64))
+    num_active = active_users.shape[0]
+    gradient = np.zeros((num_items, num_factors), dtype=np.float64)
+    if num_active == 0:
+        return 0.0, gradient
+
+    stacked = user_factors[active_users]  # (A, k)
+    scores = stacked @ item_factors.T  # (A, N)
+
+    # Public interactions of the active users in COO layout.
+    publics = (
+        public_items
+        if public_items is not None
+        else [public.positive_items(int(user)) for user in active_users]
+    )
+    counts = np.array([items.shape[0] for items in publics], dtype=np.int64)
+    public_rows = np.repeat(np.arange(num_active, dtype=np.int64), counts)
+    public_cols = (
+        np.concatenate(publics) if counts.sum() > 0 else np.empty(0, dtype=np.int64)
+    )
+
+    # V^rec'_i: top-K over the items each user has not publicly interacted with.
+    masked = scores.copy()
+    masked[public_rows, public_cols] = -np.inf
+    k = min(top_k, num_items)
+    top = np.argpartition(-masked, k - 1, axis=1)[:, :k]  # (A, k)
+    top_scores = np.take_along_axis(masked, top, axis=1)
+
+    # Boundary: lowest-scored non-target item in the top-K.  Targets are
+    # lifted to +inf so the row argmin lands on the first minimum among the
+    # non-target entries — the same element the reference's filter-then-argmin
+    # picks, since filtering preserves order.
+    target_mask = np.zeros(num_items, dtype=bool)
+    target_mask[target_items] = True
+    non_target_scores = np.where(target_mask[top], np.inf, top_scores)
+    boundary_positions = np.argmin(non_target_scores, axis=1)
+    arange_active = np.arange(num_active)
+    # A row of all +inf means every recommended slot is already a target item
+    # (the reference's "nothing to push" case).
+    has_boundary = non_target_scores[arange_active, boundary_positions] < np.inf
+    boundary_items = top[arange_active, boundary_positions]
+    boundary_scores = scores[arange_active, boundary_items]
+
+    # Targets each user has not publicly interacted with (and only for users
+    # that have a boundary to push them over).
+    num_targets = target_items.shape[0]
+    target_column = np.full(num_items, -1, dtype=np.int64)
+    target_column[target_items] = np.arange(num_targets)
+    publicly_seen = np.zeros((num_active, num_targets), dtype=bool)
+    is_target_public = target_column[public_cols] >= 0
+    publicly_seen[
+        public_rows[is_target_public], target_column[public_cols[is_target_public]]
+    ] = True
+    valid = ~publicly_seen & has_boundary[:, None]  # (A, T)
+
+    margins = boundary_scores[:, None] - scores[:, target_items]
+    if margin_mode == "linear":
+        total_loss = float(np.sum(margins, where=valid))
+        derivatives = valid.astype(np.float64)
+    else:
+        total_loss = float(np.sum(g_function(margins), where=valid))
+        derivatives = np.where(valid, g_derivative(margins), 0.0)
+
+    # d L / d score_target = -g'(margin): one GEMM onto the target rows.
+    gradient[target_items] = -(derivatives.T @ stacked)
+    # d L / d score_boundary = +sum_t g'(margin): per-user row sums scattered
+    # onto the boundary items (repeats accumulate; w = 0 rows contribute 0).
+    weights = derivatives.sum(axis=1)
+    gradient += segment_sum(stacked, boundary_items, num_items, weights=weights)
+
+    return total_loss, gradient
+
+
 class FedRecAttack(Attack):
     """The FedRecAttack model poisoning attack."""
 
@@ -213,6 +332,7 @@ class FedRecAttack(Attack):
             learning_rate=self.config.approx_learning_rate,
             l2_reg=self.config.approx_l2,
             rng=context.rng,
+            engine=context.engine,
         )
 
     def on_round_start(
@@ -241,15 +361,27 @@ class FedRecAttack(Attack):
             self._poison_gradient = np.zeros_like(item_factors)
             return
 
-        loss, gradient = attack_loss_and_gradient(
-            approximator.user_factors,
-            item_factors,
-            approximator.active_users,
-            self.public,
-            context.target_items,
-            self.config.top_k,
-            margin_mode=self.config.margin_mode,
-        )
+        if context.engine == "vectorized":
+            loss, gradient = attack_loss_and_gradient_vectorized(
+                approximator.user_factors,
+                item_factors,
+                approximator.active_users,
+                self.public,
+                context.target_items,
+                self.config.top_k,
+                margin_mode=self.config.margin_mode,
+                public_items=approximator.active_public_items,
+            )
+        else:
+            loss, gradient = attack_loss_and_gradient(
+                approximator.user_factors,
+                item_factors,
+                approximator.active_users,
+                self.public,
+                context.target_items,
+                self.config.top_k,
+                margin_mode=self.config.margin_mode,
+            )
         self.last_attack_loss = loss
         self._poison_gradient = self.config.step_size * gradient
 

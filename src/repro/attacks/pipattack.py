@@ -53,6 +53,7 @@ class PipAttack(Attack):
         self.popular_fraction = float(popular_fraction)
         self.clip_norm = clip_norm
         self._popular_items: np.ndarray | None = None
+        self._round_rows: dict[int, np.ndarray] = {}
 
     def setup(self, context: AttackContext, clients: dict[int, MaliciousClient]) -> None:
         super().setup(context, clients)
@@ -62,6 +63,47 @@ class PipAttack(Attack):
         top_count = max(1, int(round(self.popular_fraction * context.num_items)))
         order = np.argsort(-popularity, kind="stable")
         self._popular_items = np.setdiff1d(order[:top_count], context.target_items)
+
+    def on_round_start(
+        self,
+        round_index: int,
+        item_factors: np.ndarray,
+        scorer: MLPScorer | None,
+        selected_malicious_ids: list[int],
+    ) -> None:
+        """Craft every selected client's rows in one stacked computation.
+
+        The alignment term is shared by all clients and the boost term is one
+        row broadcast per client, so the whole round's uploads are a single
+        ``(num_selected, num_targets, k)`` expression clipped row-wise in one
+        pass.  :meth:`craft_update` then just hands each client its slice.
+
+        Only the ``"vectorized"`` engine precomputes here; under the
+        ``"loop"`` engine (and for clients crafted outside a round) the
+        numerically identical per-client reference path in
+        :meth:`craft_update` runs instead, so the engine-equivalence suite
+        genuinely compares the two implementations.
+        """
+        self._round_rows = {}
+        if self._popular_items is None or self._popular_items.shape[0] == 0:
+            return
+        context = self._require_context()
+        if context.engine != "vectorized":
+            return
+        selected = [cid for cid in selected_malicious_ids if cid in self.clients]
+        if not selected:
+            return
+        targets = context.target_items
+        clip = self.clip_norm or context.clip_norm
+        alignment = self._alignment_rows(item_factors, targets)
+        boosts = np.stack([self.clients[cid].user_vector for cid in selected])
+        rows = (
+            self.alignment_weight * alignment[None, :, :]
+            + self.boost_weight * (-boosts)[:, None, :]
+        )
+        flat = clip_rows(rows.reshape(-1, rows.shape[2]), clip)
+        rows = flat.reshape(rows.shape)
+        self._round_rows = {cid: rows[index] for index, cid in enumerate(selected)}
 
     def craft_update(
         self,
@@ -74,16 +116,14 @@ class PipAttack(Attack):
         if self._popular_items is None or self._popular_items.shape[0] == 0:
             return None
         targets = context.target_items
-        clip = self.clip_norm or context.clip_norm
-
-        popular_centroid = item_factors[self._popular_items].mean(axis=0)
-        # Popularity alignment: gradient of 0.5 * ||v_t - centroid||^2 is
-        # (v_t - centroid); the server's update moves v_t towards the centroid.
-        alignment = item_factors[targets] - popular_centroid[None, :]
-        # Explicit boosting towards the malicious user's own preference.
-        boost = np.tile(-client.user_vector, (targets.shape[0], 1))
-        rows = self.alignment_weight * alignment + self.boost_weight * boost
-        rows = clip_rows(rows, clip)
+        rows = self._round_rows.pop(client.client_id, None)
+        if rows is None:
+            clip = self.clip_norm or context.clip_norm
+            alignment = self._alignment_rows(item_factors, targets)
+            # Explicit boosting towards the malicious user's own preference.
+            boost = np.tile(-client.user_vector, (targets.shape[0], 1))
+            rows = self.alignment_weight * alignment + self.boost_weight * boost
+            rows = clip_rows(rows, clip)
         client.participation_count += 1
         return ClientUpdate(
             client_id=client.client_id,
@@ -92,3 +132,10 @@ class PipAttack(Attack):
             is_malicious=True,
             metadata={"attack": self.name},
         )
+
+    def _alignment_rows(self, item_factors: np.ndarray, targets: np.ndarray) -> np.ndarray:
+        """Popularity alignment: gradient of ``0.5 * ||v_t - centroid||^2`` is
+        ``(v_t - centroid)``; the server's update moves ``v_t`` towards the
+        centroid of the popular items' embeddings."""
+        popular_centroid = item_factors[self._popular_items].mean(axis=0)
+        return item_factors[targets] - popular_centroid[None, :]

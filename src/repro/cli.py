@@ -58,7 +58,12 @@ _TABLES: dict[str, Callable[[ExperimentProfile], object]] = {
 
 
 def build_parser() -> argparse.ArgumentParser:
-    """Construct the CLI argument parser."""
+    """Construct the CLI argument parser.
+
+    Exposed separately from :func:`main` so tests (and sphinx-argparse-style
+    doc tooling) can introspect the full command surface without running
+    anything.
+    """
     parser = argparse.ArgumentParser(
         prog="fedrecattack",
         description="Reproduction of FedRecAttack (ICDE 2022): run attacks, tables and figures.",
@@ -138,7 +143,18 @@ def _command_figure(args: argparse.Namespace) -> int:
 
 
 def main(argv: Sequence[str] | None = None) -> int:
-    """CLI entry point."""
+    """CLI entry point (``python -m repro.cli`` or the ``fedrecattack`` script).
+
+    Parameters
+    ----------
+    argv:
+        Argument list without the program name; ``None`` uses ``sys.argv``.
+
+    Returns
+    -------
+    int
+        Process exit code (0 on success), suitable for ``sys.exit``.
+    """
     parser = build_parser()
     args = parser.parse_args(argv)
     if args.command == "run":

@@ -64,10 +64,36 @@ class ExperimentResult:
 def run_experiment(config: ExperimentConfig, update_observer=None) -> ExperimentResult:
     """Run one federated-training experiment described by ``config``.
 
-    ``update_observer``, when given, is called as ``observer(round_index,
-    updates)`` after every aggregation round with the round's client updates —
-    this is how the defense experiments feed gradient detectors without
-    changing the protocol.
+    This is the high-level "config in, numbers out" entry point used by the
+    CLI and every table/figure generator.  The pipeline is: load or
+    synthesise the dataset (``config.dataset`` / ``config.scale`` /
+    ``config.data_dir``), make the leave-one-out split, expose the public
+    fraction ``xi`` to the attacker, select the target items, build the
+    attack named by ``config.attack`` with ``rho * num_users`` malicious
+    clients, and train through
+    :class:`~repro.federated.simulation.FederatedSimulation`.
+
+    Every random decision derives from ``config.seed``, so a config value
+    uniquely determines the result.
+
+    Parameters
+    ----------
+    config:
+        Full experiment description; see
+        :class:`~repro.experiments.config.ExperimentConfig` for the knobs and
+        their paper defaults.
+    update_observer:
+        Optional callback ``observer(round_index, updates)`` called after
+        every aggregation round with the round's client updates — this is how
+        the defense experiments feed gradient detectors without changing the
+        protocol.
+
+    Returns
+    -------
+    ExperimentResult
+        Final exposure (ER@5 / ER@10 / target NDCG@10) and accuracy (HR@10)
+        reports, the per-epoch history, the chosen targets and the malicious
+        client count.
     """
     config.validate()
     seeds = SeedSequenceFactory(config.seed)

@@ -25,11 +25,17 @@ from repro.federated.history import EpochRecord, TrainingHistory
 from repro.federated.privacy import GaussianNoiseMechanism, clip_rows
 from repro.federated.server import Server
 from repro.federated.simulation import FederatedSimulation, SimulationResult
-from repro.federated.updates import ClientUpdate, SparseRoundUpdates, scatter_rows
+from repro.federated.updates import (
+    ClientUpdate,
+    FactoredRoundUpdates,
+    SparseRoundUpdates,
+    scatter_rows,
+)
 
 __all__ = [
     "BatchedRoundTrainer",
     "SparseRoundUpdates",
+    "FactoredRoundUpdates",
     "scatter_rows",
     "Aggregator",
     "SumAggregator",

@@ -6,18 +6,21 @@ step (Eq. 7).  The future-work section discusses byzantine-robust rules
 here too so the defense extension experiments can evaluate FedRecAttack
 against them.
 
-Every aggregator accepts either a plain ``list[ClientUpdate]`` or the
-CSR-style :class:`~repro.federated.updates.SparseRoundUpdates` the vectorized
-round engine produces (a list is packed into the sparse form first, so there
-is a single code path).  ``sum`` / ``mean`` / ``norm_bounding`` consume the
-sparse structure directly — one scatter-add over the concatenated gradient
-rows, never a dense per-client tensor.  The coordinate-wise robust rules
-(``trimmed_mean`` / ``median`` / ``krum``) densify only over the *union* of
-touched item rows: rows no client touched are zero for every client, so the
-statistics computed on the union tensor equal the full dense computation at a
-fraction of the memory.  All rules return a dense ``(num_items, k)``
-item-gradient (plus an optional flat ``Theta`` gradient) for the server's SGD
-step.
+Every aggregator accepts a plain ``list[ClientUpdate]``, the CSR-style
+:class:`~repro.federated.updates.SparseRoundUpdates`, or the lazy
+:class:`~repro.federated.updates.FactoredRoundUpdates` the vectorized round
+engine produces on the MF path (a list is packed into the sparse form first,
+so there is a single code path).  ``sum`` / ``mean`` / ``norm_bounding``
+consume the round structure through its reduction methods — one scatter-add
+(sparse) or one sparse-matrix product (factored), never a dense per-client
+tensor and, for factored rounds, never a materialised gradient-row array.
+The coordinate-wise robust rules (``trimmed_mean`` / ``median`` / ``krum``)
+transparently convert a factored round to the CSR form and densify only over
+the *union* of touched item rows: rows no client touched are zero for every
+client, so the statistics computed on the union tensor equal the full dense
+computation at a fraction of the memory.  All rules return a dense
+``(num_items, k)`` item-gradient (plus an optional flat ``Theta`` gradient)
+for the server's SGD step.
 """
 
 from __future__ import annotations
@@ -28,7 +31,11 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.exceptions import ConfigurationError
-from repro.federated.updates import ClientUpdate, SparseRoundUpdates, scatter_rows
+from repro.federated.updates import (
+    ClientUpdate,
+    FactoredRoundUpdates,
+    SparseRoundUpdates,
+)
 
 __all__ = [
     "AggregationResult",
@@ -42,7 +49,7 @@ __all__ = [
     "make_aggregator",
 ]
 
-RoundUpdates = list[ClientUpdate] | SparseRoundUpdates
+RoundUpdates = list[ClientUpdate] | SparseRoundUpdates | FactoredRoundUpdates
 
 
 @dataclass(frozen=True)
@@ -53,11 +60,18 @@ class AggregationResult:
     theta_gradient: np.ndarray | None
 
 
-def _as_round(updates, num_factors: int) -> SparseRoundUpdates:
-    """Normalise either update representation to the sparse round form."""
-    if isinstance(updates, SparseRoundUpdates):
+def _as_round(updates, num_factors: int) -> SparseRoundUpdates | FactoredRoundUpdates:
+    """Normalise an update list to a round structure (lazy forms pass through)."""
+    if isinstance(updates, (SparseRoundUpdates, FactoredRoundUpdates)):
         return updates
     return SparseRoundUpdates.from_client_updates(updates, num_factors=num_factors)
+
+
+def _as_csr(round_updates) -> SparseRoundUpdates:
+    """Materialise a (possibly factored) round into the CSR row form."""
+    if isinstance(round_updates, FactoredRoundUpdates):
+        return round_updates.materialize()
+    return round_updates
 
 
 class Aggregator(ABC):
@@ -128,7 +142,7 @@ class TrimmedMeanAggregator(Aggregator):
     def aggregate(
         self, updates: RoundUpdates, num_items: int, num_factors: int
     ) -> AggregationResult:
-        round_updates = _as_round(updates, num_factors)
+        round_updates = _as_csr(_as_round(updates, num_factors))
         num_clients = round_updates.num_clients
         if num_clients == 0:
             return AggregationResult(np.zeros((num_items, num_factors)), None)
@@ -154,7 +168,7 @@ class MedianAggregator(Aggregator):
     def aggregate(
         self, updates: RoundUpdates, num_items: int, num_factors: int
     ) -> AggregationResult:
-        round_updates = _as_round(updates, num_factors)
+        round_updates = _as_csr(_as_round(updates, num_factors))
         num_clients = round_updates.num_clients
         if num_clients == 0:
             return AggregationResult(np.zeros((num_items, num_factors)), None)
@@ -189,7 +203,7 @@ class KrumAggregator(Aggregator):
     def aggregate(
         self, updates: RoundUpdates, num_items: int, num_factors: int
     ) -> AggregationResult:
-        round_updates = _as_round(updates, num_factors)
+        round_updates = _as_csr(_as_round(updates, num_factors))
         num_clients = round_updates.num_clients
         if num_clients == 0:
             return AggregationResult(np.zeros((num_items, num_factors)), None)
@@ -225,7 +239,12 @@ class KrumAggregator(Aggregator):
 
 
 class NormBoundingAggregator(Aggregator):
-    """Sum rule with per-row norm bounding applied to every upload first."""
+    """Sum rule with per-row norm bounding applied to every upload first.
+
+    Consumes the lazy factored form directly: a rank-1 row's norm is
+    ``|c| * ||u||``, so the clip is a coefficient rescale and the sum stays a
+    single sparse-matrix product.
+    """
 
     name = "norm_bounding"
 
@@ -238,14 +257,9 @@ class NormBoundingAggregator(Aggregator):
         self, updates: RoundUpdates, num_items: int, num_factors: int
     ) -> AggregationResult:
         round_updates = _as_round(updates, num_factors)
-        grad_rows = round_updates.grad_rows
-        if grad_rows.shape[0] > 0:
-            norms = np.linalg.norm(grad_rows, axis=1, keepdims=True)
-            scale = np.minimum(1.0, self.max_row_norm / np.maximum(norms, 1e-12))
-            grad_rows = grad_rows * scale
         return AggregationResult(
-            item_gradient=scatter_rows(
-                round_updates.item_ids, grad_rows, num_items, num_factors
+            item_gradient=round_updates.clipped_sum_item_gradient(
+                num_items, num_factors, self.max_row_norm
             ),
             theta_gradient=round_updates.sum_theta(),
         )

@@ -10,14 +10,18 @@ per-client Python loop:
 * the user vectors are stacked into a ``(B, k)`` matrix, the positive and
   negative item vectors are gathered once, and the BPR margins, coefficients,
   per-user losses and all gradients are computed in bulk
-  (:func:`repro.models.losses.bpr_loss_and_gradients_batched`),
-* the per-(client, item) gradient rows come out directly in the CSR-style
-  :class:`~repro.federated.updates.SparseRoundUpdates` layout the aggregators
-  consume without densifying.
+  (:func:`repro.models.losses.bpr_coefficients_batched`),
+* on the MF path the per-(client, item) item gradients stay in the *lazy
+  factored* form — folded coefficients in CSR layout plus the stacked user
+  matrix, packaged as
+  :class:`~repro.federated.updates.FactoredRoundUpdates` — which the ``sum``
+  / ``mean`` aggregators and the DP mechanism consume without ever
+  materialising the ``(nnz, k)`` gradient-row array.
 
 The MLP-scorer path is batched the same way through
 :meth:`MLPScorer.score_and_segment_gradients`, which returns per-client
-``Theta`` gradients in one call.
+``Theta`` gradients in one call; its item-gradient rows are not rank-1, so it
+emits the CSR-style :class:`~repro.federated.updates.SparseRoundUpdates`.
 """
 
 from __future__ import annotations
@@ -27,10 +31,10 @@ import numpy as np
 from repro.federated.client import BenignClient
 from repro.federated.config import FederatedConfig
 from repro.federated.privacy import GaussianNoiseMechanism
-from repro.federated.updates import SparseRoundUpdates
+from repro.federated.updates import FactoredRoundUpdates, SparseRoundUpdates
 from repro.models.losses import (
     BatchedBPRGradients,
-    bpr_loss_and_gradients_batched,
+    bpr_coefficients_batched,
     fold_by_key,
     segment_sum,
     sigmoid,
@@ -60,12 +64,14 @@ class BatchedRoundTrainer:
         benign_ids: list[int],
         item_factors: np.ndarray,
         scorer: MLPScorer | None,
-    ) -> tuple[SparseRoundUpdates, float]:
+    ) -> tuple["FactoredRoundUpdates | SparseRoundUpdates", float]:
         """One local-training round for ``benign_ids``.
 
-        Returns the privatised sparse round structure plus the round's total
-        benign training loss (measured before privacy noise, like the loop
-        engine reports it).
+        Returns the privatised round structure — the lazy
+        :class:`FactoredRoundUpdates` on the MF path, the CSR-style
+        :class:`SparseRoundUpdates` on the scorer path — plus the round's
+        total benign training loss (measured before privacy noise, like the
+        loop engine reports it).
         """
         num_clients = len(benign_ids)
         num_factors = self._config.num_factors
@@ -96,38 +102,47 @@ class BatchedRoundTrainer:
         )
         user_vectors = np.stack([client.user_vector for client in clients])
 
-        theta_gradients = None
-        theta_mask = None
         if scorer is None:
-            batched = bpr_loss_and_gradients_batched(
+            l2_reg = self._config.l2_reg
+            batched = bpr_coefficients_batched(
                 user_vectors,
                 item_factors,
                 segment_ids,
                 positives,
                 negatives,
-                l2_reg=self._config.l2_reg,
+                l2_reg=l2_reg,
+            )
+            round_updates = FactoredRoundUpdates(
+                client_ids=np.asarray(benign_ids, dtype=np.int64),
+                item_ids=batched.item_ids,
+                coefficients=batched.coefficients,
+                client_offsets=batched.segment_offsets,
+                user_vectors=user_vectors,
+                losses=batched.losses,
+                malicious_mask=np.zeros(num_clients, dtype=bool),
+                ridge=2.0 * l2_reg if l2_reg > 0.0 else 0.0,
+                ridge_matrix=item_factors if l2_reg > 0.0 else None,
             )
         else:
             batched, theta_gradients = self._scorer_round(
                 user_vectors, item_factors, segment_ids, positives, negatives, scorer
             )
-            theta_mask = np.ones(num_clients, dtype=bool)
+            round_updates = SparseRoundUpdates(
+                client_ids=np.asarray(benign_ids, dtype=np.int64),
+                item_ids=batched.item_ids,
+                grad_rows=batched.grad_rows,
+                client_offsets=batched.segment_offsets,
+                losses=batched.losses,
+                malicious_mask=np.zeros(num_clients, dtype=bool),
+                theta_gradients=theta_gradients,
+                theta_mask=np.ones(num_clients, dtype=bool),
+            )
 
         stepped = user_vectors - self._config.learning_rate * batched.grad_users
         for index, client in enumerate(clients):
             client.user_vector = stepped[index].copy()
             client.participation_count += 1
 
-        round_updates = SparseRoundUpdates(
-            client_ids=np.asarray(benign_ids, dtype=np.int64),
-            item_ids=batched.item_ids,
-            grad_rows=batched.grad_rows,
-            client_offsets=batched.segment_offsets,
-            losses=batched.losses,
-            malicious_mask=np.zeros(num_clients, dtype=bool),
-            theta_gradients=theta_gradients,
-            theta_mask=theta_mask,
-        )
         round_updates = self._privacy.apply_round(round_updates)
         return round_updates, float(batched.losses.sum())
 

@@ -11,7 +11,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.exceptions import FederationError
-from repro.federated.updates import ClientUpdate, SparseRoundUpdates
+from repro.federated.updates import ClientUpdate, FactoredRoundUpdates, SparseRoundUpdates
 from repro.rng import ensure_rng
 
 __all__ = ["clip_rows", "GaussianNoiseMechanism"]
@@ -78,17 +78,29 @@ class GaussianNoiseMechanism:
             )
         return result
 
-    def apply_round(self, round_updates: SparseRoundUpdates) -> SparseRoundUpdates:
-        """Privatise a whole round of sparse uploads at once.
+    def apply_round(
+        self, round_updates: "SparseRoundUpdates | FactoredRoundUpdates"
+    ) -> "SparseRoundUpdates | FactoredRoundUpdates":
+        """Privatise a whole round of sparse (or lazy factored) uploads.
 
         Clipping runs as one vectorised row operation over every client's
         gradient rows.  Noise, when enabled, is drawn per client in upload
         order so the random stream matches :meth:`apply` called on the same
         clients one by one — the loop and vectorized engines therefore add
         bit-identical noise.
+
+        A :class:`FactoredRoundUpdates` stays factored through the clip-only
+        configuration (a rank-1 row's norm bound is a coefficient rescale);
+        additive noise destroys the rank-1 structure, so the noisy
+        configurations materialise the rows first and then share the sparse
+        path — including its per-client noise stream.
         """
         if self.noise_scale == 0.0 and not self.clip_before_noise:
             return round_updates
+        if isinstance(round_updates, FactoredRoundUpdates):
+            if self.noise_scale == 0.0 and round_updates.ridge == 0.0:
+                return round_updates.clipped_rows(self.clip_norm)
+            round_updates = round_updates.materialize()
         grad_rows = round_updates.grad_rows
         if self.clip_before_noise and grad_rows.size > 0:
             grad_rows = clip_rows(grad_rows, self.clip_norm)

@@ -14,7 +14,7 @@ import numpy as np
 from repro.exceptions import FederationError
 from repro.federated.aggregation import Aggregator, make_aggregator
 from repro.federated.config import FederatedConfig
-from repro.federated.updates import ClientUpdate, SparseRoundUpdates
+from repro.federated.updates import ClientUpdate, FactoredRoundUpdates, SparseRoundUpdates
 from repro.models.neural import MLPScorer
 from repro.rng import ensure_rng
 
@@ -55,15 +55,19 @@ class Server:
         #: so this is the single authoritative round counter of a simulation).
         self.rounds_applied = 0
 
-    def apply_round(self, updates: "list[ClientUpdate] | SparseRoundUpdates") -> None:
+    def apply_round(
+        self,
+        updates: "list[ClientUpdate] | SparseRoundUpdates | FactoredRoundUpdates",
+    ) -> None:
         """Aggregate the round's updates and apply one SGD step (Eq. 7).
 
-        Accepts either a list of per-client updates (the loop engine and the
-        attacks produce these) or one :class:`SparseRoundUpdates` (the
-        vectorized engine).  A round with no uploads still counts towards
-        :attr:`rounds_applied` — every selection of clients is a protocol
-        round, whether or not anyone uploaded — but leaves the parameters
-        untouched.
+        Accepts a list of per-client updates (the loop engine and the attacks
+        produce these), one CSR-style :class:`SparseRoundUpdates` (the
+        vectorized engine's scorer path), or one lazy
+        :class:`FactoredRoundUpdates` (the vectorized engine's MF path).  A
+        round with no uploads still counts towards :attr:`rounds_applied` —
+        every selection of clients is a protocol round, whether or not anyone
+        uploaded — but leaves the parameters untouched.
         """
         self.rounds_applied += 1
         if len(updates) == 0:

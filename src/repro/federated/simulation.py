@@ -78,7 +78,47 @@ class SimulationResult:
 
 
 class FederatedSimulation:
-    """Simulates federated training of the recommender, optionally under attack."""
+    """Simulates federated training of the recommender, optionally under attack.
+
+    This is the package's main programmatic entry point: construct it with a
+    training dataset and a :class:`~repro.federated.config.FederatedConfig`,
+    optionally attach an attack, and call :meth:`run`.
+
+    Parameters
+    ----------
+    train:
+        The benign training interactions; one benign client is built per user.
+    config:
+        Protocol hyper-parameters, including the ``engine`` switch that
+        selects the vectorized or the loop round implementation (for both the
+        benign round and the attacker's internal computations).
+    test_items:
+        Per-user held-out items for HR@10 / NDCG@10 evaluation (usually the
+        leave-one-out split's test column); ``None`` disables accuracy
+        evaluation.
+    target_items:
+        The attack's target items for ER@K evaluation; required when an
+        attack is given, ``None`` disables exposure evaluation.
+    attack:
+        An :class:`~repro.attacks.base.Attack` instance, or ``None`` for
+        clean training.
+    num_malicious:
+        Number of attacker-controlled clients appended after the benign ones
+        (ids ``num_users .. num_users + num_malicious - 1``).
+    seed:
+        Master seed (or a :class:`~repro.rng.SeedSequenceFactory`); every
+        random stream of the simulation derives from it, so runs are fully
+        reproducible and engine choices do not perturb each other's streams.
+    evaluate_every:
+        Evaluation cadence in epochs; ``None`` picks ``max(1, epochs // 10)``.
+    eval_num_negatives:
+        Negatives sampled per user during ranking evaluation (``None`` ranks
+        against the full catalog).
+    update_observer:
+        Optional callback ``observer(round_index, updates)`` receiving every
+        round's uploads as :class:`~repro.federated.updates.ClientUpdate`
+        lists — the hook the defense detectors plug into.
+    """
 
     def __init__(
         self,
@@ -197,6 +237,7 @@ class FederatedSimulation:
             item_popularity=self.train.item_popularity,
             full_train=self.train,
             rng=self._seeds.generator("attack"),
+            engine=self.config.engine,
         )
         self.attack.setup(context, self.malicious_clients)
 
@@ -204,7 +245,26 @@ class FederatedSimulation:
     # Training loop
     # ------------------------------------------------------------------ #
     def run(self, num_epochs: int | None = None) -> SimulationResult:
-        """Run federated training and return the final metrics and model."""
+        """Run federated training and return the final metrics and model.
+
+        Each epoch shuffles all clients (benign and malicious) into rounds of
+        ``config.clients_per_round`` and runs the per-round protocol:
+        attacker hook, local training through the configured engine, optional
+        DP privatisation, aggregation, one server SGD step.  Accuracy and
+        exposure are evaluated at the configured cadence and always after the
+        final epoch.
+
+        Parameters
+        ----------
+        num_epochs:
+            Override for ``config.num_epochs`` (must be positive).
+
+        Returns
+        -------
+        SimulationResult
+            Per-epoch :class:`~repro.federated.history.TrainingHistory` plus
+            the final exposure/accuracy reports and model parameters.
+        """
         epochs = self.config.num_epochs if num_epochs is None else int(num_epochs)
         if epochs <= 0:
             raise FederationError("num_epochs must be positive")

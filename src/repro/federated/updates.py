@@ -6,15 +6,22 @@ touched are non-zero, which is what the paper's ``kappa`` constraint counts)
 plus, when the interaction function is learnable, a dense gradient of
 ``Theta``.
 
-Two representations exist:
+Three representations exist:
 
 * :class:`ClientUpdate` — one client's upload, the unit the per-client
   ("loop") engine and the attack implementations produce.
 * :class:`SparseRoundUpdates` — a whole round's uploads in one CSR-style
   structure (concatenated ``item_ids`` / ``grad_rows`` plus ``client_offsets``
-  delimiting each client's segment).  The vectorized round engine emits this
-  directly and the aggregators consume it without ever materialising a dense
-  ``(num_clients, num_items, k)`` tensor.
+  delimiting each client's segment).  The aggregators consume it without ever
+  materialising a dense ``(num_clients, num_items, k)`` tensor.
+* :class:`FactoredRoundUpdates` — the *lazy factored* form the vectorized
+  engine emits on the MF path.  A benign BPR gradient row is the rank-1
+  product ``c_bj * u_b`` (plus an optional shared ridge term), so the round is
+  fully described by the folded coefficients in CSR layout plus the small
+  stacked user matrix; ``sum`` / ``mean`` aggregation and norm bounding reduce
+  it with one sparse-matrix product and never materialise the ``(nnz, k)``
+  gradient-row array.  Robust aggregators (and anything else that needs the
+  rows) transparently convert through :meth:`FactoredRoundUpdates.materialize`.
 """
 
 from __future__ import annotations
@@ -23,11 +30,17 @@ from dataclasses import dataclass, field
 from typing import Iterable, Sequence
 
 import numpy as np
+from scipy import sparse as _sparse
 
 from repro.exceptions import FederationError
 from repro.models.losses import segment_sum
 
-__all__ = ["ClientUpdate", "SparseRoundUpdates", "scatter_rows"]
+__all__ = ["ClientUpdate", "SparseRoundUpdates", "FactoredRoundUpdates", "scatter_rows"]
+
+
+def _row_clip_scales(row_norms: np.ndarray, max_norm: float) -> np.ndarray:
+    """Per-row scale factors that bound L2 norms by ``max_norm`` (Eq. 23)."""
+    return np.minimum(1.0, max_norm / np.maximum(row_norms, 1e-12))
 
 
 def scatter_rows(
@@ -354,6 +367,16 @@ class SparseRoundUpdates:
         """Dense sum of all clients' item gradients (one scatter, Eq. 7)."""
         return scatter_rows(self.item_ids, self.grad_rows, num_items, num_factors)
 
+    def clipped_sum_item_gradient(
+        self, num_items: int, num_factors: int, max_norm: float
+    ) -> np.ndarray:
+        """Dense gradient sum with every row clipped to L2 norm ``max_norm``."""
+        grad_rows = self.grad_rows
+        if grad_rows.shape[0] > 0:
+            norms = np.linalg.norm(grad_rows, axis=1)
+            grad_rows = grad_rows * _row_clip_scales(norms, max_norm)[:, None]
+        return scatter_rows(self.item_ids, grad_rows, num_items, num_factors)
+
     def sum_theta(self) -> np.ndarray | None:
         """Sum of the uploaded theta gradients, or ``None`` when there are none."""
         if self.theta_gradients is None or not bool(self.theta_mask.any()):
@@ -388,3 +411,288 @@ class SparseRoundUpdates:
         flat_ids = rows * width + columns
         tensor = scatter_rows(flat_ids, self.grad_rows, num_clients * width, num_factors)
         return tensor.reshape(num_clients, width, num_factors), union
+
+
+@dataclass
+class FactoredRoundUpdates:
+    """One round's benign uploads in lazy factored "coefficients + users" form.
+
+    On the MF path every benign gradient row is the rank-1 product of a scalar
+    BPR coefficient and the client's private vector:
+
+        grad_row(b, j) = coefficients[r] * user_vectors[b] + ridge * V[j]
+
+    where ``r`` runs over client ``b``'s CSR segment and the ridge term (with
+    ``ridge = 2 * l2_reg`` against the round's item matrix ``V``) only exists
+    under L2 regularisation.  Storing the factors instead of the rows makes
+    ``sum`` / ``mean`` aggregation a single sparse-matrix product ``C^T @ U``
+    — the ``(nnz, k)`` row array of :class:`SparseRoundUpdates` is never
+    materialised — and per-row norm bounding a rescaling of the coefficients.
+
+    Malicious uploads appended by :meth:`extended` are arbitrary dense rows,
+    so they live in a small CSR-style ``tail`` that every reduction adds on
+    top of the factored sum.  Consumers that genuinely need gradient rows
+    (robust aggregators, observers, defenses) call :meth:`materialize` and get
+    the exact :class:`SparseRoundUpdates` the round would otherwise have been.
+
+    Attributes
+    ----------
+    client_ids:
+        Ids of the factored (benign) uploading clients, shape ``(B,)``.
+    item_ids:
+        Concatenated touched-item ids, shape ``(nnz,)``, sorted per client.
+    coefficients:
+        Folded per-(client, item) BPR coefficients aligned with ``item_ids``.
+    client_offsets:
+        CSR offsets delimiting each client's segment, shape ``(B + 1,)``.
+    user_vectors:
+        The clients' stacked private vectors *before* the local step, shape
+        ``(B, k)`` — the right factor of every gradient row.
+    losses, malicious_mask, theta_gradients, theta_mask, metadata:
+        Per-client metadata with the same meaning as on
+        :class:`SparseRoundUpdates`.
+    ridge:
+        Scalar weight of the shared ridge term (``2 * l2_reg``; 0 disables).
+    ridge_matrix:
+        The item matrix the ridge term is taken against (required when
+        ``ridge != 0``).
+    tail:
+        Optional dense CSR tail of appended (typically malicious) uploads.
+    """
+
+    client_ids: np.ndarray
+    item_ids: np.ndarray
+    coefficients: np.ndarray
+    client_offsets: np.ndarray
+    user_vectors: np.ndarray
+    losses: np.ndarray
+    malicious_mask: np.ndarray
+    ridge: float = 0.0
+    ridge_matrix: np.ndarray | None = None
+    theta_gradients: np.ndarray | None = None
+    theta_mask: np.ndarray | None = None
+    metadata: list[dict] = field(default_factory=list)
+    tail: SparseRoundUpdates | None = None
+
+    def __post_init__(self) -> None:
+        self.client_ids = np.asarray(self.client_ids, dtype=np.int64)
+        self.item_ids = np.asarray(self.item_ids, dtype=np.int64)
+        self.coefficients = np.asarray(self.coefficients, dtype=np.float64)
+        self.client_offsets = np.asarray(self.client_offsets, dtype=np.int64)
+        self.user_vectors = np.asarray(self.user_vectors, dtype=np.float64)
+        self.losses = np.asarray(self.losses, dtype=np.float64)
+        self.malicious_mask = np.asarray(self.malicious_mask, dtype=bool)
+        self.ridge = float(self.ridge)
+        num_clients = self.client_ids.shape[0]
+        if self.client_offsets.shape[0] != num_clients + 1:
+            raise FederationError("client_offsets must have num_clients + 1 entries")
+        if self.coefficients.shape != self.item_ids.shape:
+            raise FederationError("coefficients must align with item_ids")
+        if self.user_vectors.ndim != 2 or self.user_vectors.shape[0] != num_clients:
+            raise FederationError("user_vectors must have one row per client")
+        if self.losses.shape[0] != num_clients or self.malicious_mask.shape[0] != num_clients:
+            raise FederationError("losses and malicious_mask must have one entry per client")
+        if self.ridge != 0.0 and self.ridge_matrix is None:
+            raise FederationError("a non-zero ridge requires ridge_matrix")
+        if (self.theta_gradients is None) != (self.theta_mask is None):
+            raise FederationError("theta_gradients and theta_mask must be given together")
+        if self.theta_gradients is not None:
+            self.theta_gradients = np.asarray(self.theta_gradients, dtype=np.float64)
+            self.theta_mask = np.asarray(self.theta_mask, dtype=bool)
+            if self.theta_gradients.shape[0] != num_clients:
+                raise FederationError("theta_gradients must have one row per client")
+
+    # ------------------------------------------------------------------ #
+    # Basic accessors
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return self.num_clients
+
+    @property
+    def num_clients(self) -> int:
+        """Total clients this round (factored part plus dense tail)."""
+        total = int(self.client_ids.shape[0])
+        if self.tail is not None:
+            total += self.tail.num_clients
+        return total
+
+    @property
+    def num_factored_clients(self) -> int:
+        """Clients stored in the factored (benign) part only."""
+        return int(self.client_ids.shape[0])
+
+    @property
+    def num_factors(self) -> int:
+        """Feature dimensionality ``k``."""
+        return int(self.user_vectors.shape[1]) if self.user_vectors.ndim == 2 else 0
+
+    @property
+    def owners(self) -> np.ndarray:
+        """For every coefficient, the index of the client row owning it."""
+        return np.repeat(
+            np.arange(self.num_factored_clients, dtype=np.int64),
+            np.diff(self.client_offsets),
+        )
+
+    # ------------------------------------------------------------------ #
+    # Lazy reductions (never materialise gradient rows)
+    # ------------------------------------------------------------------ #
+    def sum_item_gradient(self, num_items: int, num_factors: int) -> np.ndarray:
+        """Dense gradient sum ``C^T @ U`` (+ ridge + tail) without row arrays."""
+        total = self._base_sum_item_gradient(num_items, num_factors)
+        if self.tail is not None:
+            total += self.tail.sum_item_gradient(num_items, num_factors)
+        return total
+
+    def clipped_sum_item_gradient(
+        self, num_items: int, num_factors: int, max_norm: float
+    ) -> np.ndarray:
+        """Gradient sum with per-row L2 clipping, still in factored form.
+
+        Without a ridge term a row's norm is ``|c| * ||u_owner||``, so the
+        clip is a per-coefficient rescale.  With a ridge term rows are no
+        longer rank-1 and the computation falls back to the CSR path.
+        """
+        if self.ridge != 0.0:
+            return self.materialize().clipped_sum_item_gradient(
+                num_items, num_factors, max_norm
+            )
+        clipped = self.clipped_rows(max_norm)
+        total = clipped._base_sum_item_gradient(num_items, num_factors)
+        if clipped.tail is not None:
+            total += clipped.tail.sum_item_gradient(num_items, num_factors)
+        return total
+
+    def _base_sum_item_gradient(self, num_items: int, num_factors: int) -> np.ndarray:
+        if self.item_ids.shape[0] == 0:
+            return np.zeros((num_items, num_factors), dtype=np.float64)
+        coefficient_matrix = _sparse.csr_matrix(
+            (self.coefficients, self.item_ids, self.client_offsets),
+            shape=(self.num_factored_clients, num_items),
+        )
+        total = np.asarray(coefficient_matrix.T @ self.user_vectors)
+        if self.ridge != 0.0:
+            counts = np.bincount(self.item_ids, minlength=num_items).astype(np.float64)
+            total += self.ridge * counts[:, None] * self.ridge_matrix
+        return total
+
+    def clipped_rows(self, max_norm: float) -> "FactoredRoundUpdates":
+        """A copy with every factored row clipped to L2 norm ``max_norm``.
+
+        Only valid without a ridge term (rows must be rank-1 for the clip to
+        reduce to a coefficient rescale); the tail is clipped row-wise.
+        """
+        if self.ridge != 0.0:
+            raise FederationError("cannot clip factored rows with a ridge term")
+        user_norms = np.linalg.norm(self.user_vectors, axis=1)
+        row_norms = np.abs(self.coefficients) * user_norms[self.owners]
+        scales = _row_clip_scales(row_norms, max_norm)
+        tail = self.tail
+        if tail is not None and tail.grad_rows.shape[0] > 0:
+            tail_norms = np.linalg.norm(tail.grad_rows, axis=1)
+            tail = SparseRoundUpdates(
+                client_ids=tail.client_ids,
+                item_ids=tail.item_ids,
+                grad_rows=tail.grad_rows * _row_clip_scales(tail_norms, max_norm)[:, None],
+                client_offsets=tail.client_offsets,
+                losses=tail.losses,
+                malicious_mask=tail.malicious_mask,
+                theta_gradients=tail.theta_gradients,
+                theta_mask=tail.theta_mask,
+                metadata=tail.metadata,
+            )
+        return FactoredRoundUpdates(
+            client_ids=self.client_ids,
+            item_ids=self.item_ids,
+            coefficients=self.coefficients * scales,
+            client_offsets=self.client_offsets,
+            user_vectors=self.user_vectors,
+            losses=self.losses,
+            malicious_mask=self.malicious_mask,
+            ridge=0.0,
+            ridge_matrix=None,
+            theta_gradients=self.theta_gradients,
+            theta_mask=self.theta_mask,
+            metadata=self.metadata,
+            tail=tail,
+        )
+
+    def sum_theta(self) -> np.ndarray | None:
+        """Sum of the uploaded theta gradients, or ``None`` when there are none."""
+        total = None
+        if self.theta_gradients is not None and bool(self.theta_mask.any()):
+            total = self.theta_gradients[self.theta_mask].sum(axis=0)
+        if self.tail is not None:
+            tail_sum = self.tail.sum_theta()
+            if tail_sum is not None:
+                total = tail_sum if total is None else total + tail_sum
+        return total
+
+    @property
+    def num_theta_contributors(self) -> int:
+        """Number of clients that actually uploaded a theta gradient."""
+        count = int(self.theta_mask.sum()) if self.theta_mask is not None else 0
+        if self.tail is not None:
+            count += self.tail.num_theta_contributors
+        return count
+
+    # ------------------------------------------------------------------ #
+    # Conversions (materialise only when a consumer needs actual rows)
+    # ------------------------------------------------------------------ #
+    def materialize(self) -> SparseRoundUpdates:
+        """The exact :class:`SparseRoundUpdates` this factored round encodes."""
+        grad_rows = self.user_vectors[self.owners]
+        grad_rows *= self.coefficients[:, None]
+        if self.ridge != 0.0:
+            grad_rows = grad_rows + self.ridge * self.ridge_matrix[self.item_ids]
+        base = SparseRoundUpdates(
+            client_ids=self.client_ids,
+            item_ids=self.item_ids,
+            grad_rows=grad_rows,
+            client_offsets=self.client_offsets,
+            losses=self.losses,
+            malicious_mask=self.malicious_mask,
+            theta_gradients=self.theta_gradients,
+            theta_mask=self.theta_mask,
+            metadata=list(self.metadata),
+        )
+        if self.tail is None:
+            return base
+        return base.extended(self.tail.to_client_updates())
+
+    def to_client_updates(self) -> list[ClientUpdate]:
+        """Materialise the round as per-client :class:`ClientUpdate` objects."""
+        return self.materialize().to_client_updates()
+
+    def dense_over_union(self) -> tuple[np.ndarray, np.ndarray]:
+        """Per-client dense tensor over the union of touched rows (CSR path)."""
+        return self.materialize().dense_over_union()
+
+    def extended(self, extra: Iterable[ClientUpdate]) -> "FactoredRoundUpdates":
+        """A new factored round with ``extra`` dense client updates appended.
+
+        The factored part is shared (no copies); the extra updates land in the
+        dense tail, so attack rounds keep the lazy benign representation.
+        """
+        extra = list(extra)
+        if not extra:
+            return self
+        if self.tail is None:
+            tail = SparseRoundUpdates.from_client_updates(extra, num_factors=self.num_factors)
+        else:
+            tail = self.tail.extended(extra)
+        return FactoredRoundUpdates(
+            client_ids=self.client_ids,
+            item_ids=self.item_ids,
+            coefficients=self.coefficients,
+            client_offsets=self.client_offsets,
+            user_vectors=self.user_vectors,
+            losses=self.losses,
+            malicious_mask=self.malicious_mask,
+            ridge=self.ridge,
+            ridge_matrix=self.ridge_matrix,
+            theta_gradients=self.theta_gradients,
+            theta_mask=self.theta_mask,
+            metadata=list(self.metadata),
+            tail=tail,
+        )

@@ -9,8 +9,12 @@ the paper's claim that the attack generalises to deep recommenders.
 
 from repro.models.base import Recommender
 from repro.models.losses import (
+    bpr_coefficients_batched,
     bpr_loss,
     bpr_loss_and_gradients,
+    bpr_loss_and_gradients_batched,
+    BatchedBPRCoefficients,
+    BatchedBPRGradients,
     BPRGradients,
     sigmoid,
 )
@@ -22,7 +26,11 @@ __all__ = [
     "MatrixFactorizationModel",
     "MLPScorer",
     "BPRGradients",
+    "BatchedBPRGradients",
+    "BatchedBPRCoefficients",
     "bpr_loss",
     "bpr_loss_and_gradients",
+    "bpr_loss_and_gradients_batched",
+    "bpr_coefficients_batched",
     "sigmoid",
 ]

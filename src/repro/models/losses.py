@@ -29,8 +29,10 @@ __all__ = [
     "bpr_loss",
     "bpr_loss_and_gradients",
     "bpr_loss_and_gradients_batched",
+    "bpr_coefficients_batched",
     "BPRGradients",
     "BatchedBPRGradients",
+    "BatchedBPRCoefficients",
     "fold_by_key",
     "segment_sum",
 ]
@@ -231,6 +233,131 @@ def fold_by_key(keys: np.ndarray, values: np.ndarray) -> tuple[np.ndarray, np.nd
     return sorted_keys[starts], folded
 
 
+@dataclass(frozen=True)
+class BatchedBPRCoefficients:
+    """The *factored* form of a batch's BPR item gradients.
+
+    The dense gradient row of user ``b`` for item ``j`` is the rank-1 product
+    ``c_bj * u_b`` (plus ``2 * l2_reg * v_j`` when regularised), so the whole
+    batch's item gradient is fully described by the folded per-(user, item)
+    coefficients ``c_bj`` in CSR layout plus the small stacked user matrix —
+    the ``(nnz, k)`` row array never has to exist.  This is what
+    :class:`repro.federated.updates.FactoredRoundUpdates` stores and what the
+    ``sum`` / ``mean`` aggregators consume as a single sparse-matrix product.
+
+    Attributes
+    ----------
+    losses:
+        Per-user loss values, shape ``(num_segments,)``.
+    grad_users:
+        Per-user gradients of the private vectors, shape ``(num_segments, k)``.
+    item_ids:
+        Concatenated per-user touched item ids, shape ``(nnz,)`` (sorted
+        within each user's segment).
+    coefficients:
+        Folded per-(user, item) coefficients ``c_bj`` aligned with
+        ``item_ids``, shape ``(nnz,)``.
+    segment_offsets:
+        Offsets delimiting each user's segment, shape ``(num_segments + 1,)``.
+    """
+
+    losses: np.ndarray
+    grad_users: np.ndarray
+    item_ids: np.ndarray
+    coefficients: np.ndarray
+    segment_offsets: np.ndarray
+
+    @property
+    def owners(self) -> np.ndarray:
+        """For every coefficient, the segment (user row) it belongs to."""
+        num_segments = self.segment_offsets.shape[0] - 1
+        return np.repeat(
+            np.arange(num_segments, dtype=np.int64), np.diff(self.segment_offsets)
+        )
+
+
+def bpr_coefficients_batched(
+    user_vectors: np.ndarray,
+    item_factors: np.ndarray,
+    segment_ids: np.ndarray,
+    positives: np.ndarray,
+    negatives: np.ndarray,
+    l2_reg: float = 0.0,
+) -> BatchedBPRCoefficients:
+    """Losses, user gradients and *factored* item gradients for many users.
+
+    Computes everything :func:`bpr_loss_and_gradients_batched` does except the
+    materialised ``(nnz, k)`` gradient-row array: the item gradient comes back
+    as folded per-(user, item) coefficients (see
+    :class:`BatchedBPRCoefficients`).  With ``l2_reg > 0`` the implied row is
+    ``c_bj * u_b + 2 * l2_reg * v_j``; the regularisation contributions to the
+    losses and user gradients are included here.
+    """
+    user_vectors = np.asarray(user_vectors, dtype=np.float64)
+    positives, negatives = _validate_pairs(positives, negatives)
+    segment_ids = np.asarray(segment_ids, dtype=np.int64)
+    if segment_ids.shape != positives.shape:
+        raise ModelError(
+            f"segment_ids must align with the pairs, got shapes {segment_ids.shape} "
+            f"and {positives.shape}"
+        )
+    num_segments, k = user_vectors.shape
+    num_items = item_factors.shape[0]
+    if positives.shape[0] == 0:
+        return BatchedBPRCoefficients(
+            losses=np.zeros(num_segments, dtype=np.float64),
+            grad_users=np.zeros((num_segments, k), dtype=np.float64),
+            item_ids=np.empty(0, dtype=np.int64),
+            coefficients=np.empty(0, dtype=np.float64),
+            segment_offsets=np.zeros(num_segments + 1, dtype=np.int64),
+        )
+
+    # All pairwise scores in one small GEMM: S[b, j] = u_b . v_j.  Gathering
+    # margins out of S touches far less memory than gathering the positive and
+    # negative item vectors per pair.
+    scores = user_vectors @ item_factors.T
+    flat_scores = scores.ravel()
+    score_base = segment_ids * num_items
+    margins = flat_scores[score_base + positives] - flat_scores[score_base + negatives]
+    losses = np.bincount(segment_ids, weights=-_log_sigmoid(margins), minlength=num_segments)
+    coefficients = -sigmoid(-margins)
+
+    # Fold the per-pair coefficients into per-(user, item) coefficients with a
+    # single stable sort over combined keys; within each user the ids come out
+    # sorted, matching the per-user np.unique of the reference implementation.
+    keys = np.concatenate([score_base + positives, score_base + negatives])
+    signed = np.concatenate([coefficients, -coefficients])
+    unique_keys, folded = fold_by_key(keys, signed)
+    item_ids = unique_keys % num_items
+    owners = unique_keys // num_items
+    segment_offsets = np.searchsorted(owners, np.arange(num_segments + 1))
+
+    # grad_user_b = sum_j c_bj * v_j — one sparse-matrix product against V
+    # using the CSR layout just built.
+    coefficient_matrix = _sparse.csr_matrix(
+        (folded, item_ids, segment_offsets), shape=(num_segments, num_items)
+    )
+    grad_users = np.asarray(coefficient_matrix @ item_factors)
+
+    if l2_reg > 0.0:
+        touched = item_factors[item_ids]
+        active = np.bincount(segment_ids, minlength=num_segments) > 0
+        grad_users[active] += 2.0 * l2_reg * user_vectors[active]
+        user_sq = np.einsum("ij,ij->i", user_vectors, user_vectors)
+        item_sq = np.bincount(
+            owners, weights=np.einsum("ij,ij->i", touched, touched), minlength=num_segments
+        )
+        losses = losses + np.where(active, l2_reg * user_sq, 0.0) + l2_reg * item_sq
+
+    return BatchedBPRCoefficients(
+        losses=losses,
+        grad_users=grad_users,
+        item_ids=item_ids,
+        coefficients=folded,
+        segment_offsets=segment_offsets,
+    )
+
+
 def bpr_loss_and_gradients_batched(
     user_vectors: np.ndarray,
     item_factors: np.ndarray,
@@ -246,7 +373,12 @@ def bpr_loss_and_gradients_batched(
     but computed with stacked numpy operations: one GEMM for all pairwise
     scores, one margin/coefficient computation over every ``(j, k)`` pair, one
     sort that folds the coefficients per (user, item), and one sparse-matrix
-    product for the user-vector gradients.
+    product for the user-vector gradients.  A user's gradient row for positive
+    ``j`` is ``coeff * u`` and for negative ``l`` is ``-coeff * u``, so the
+    sorted rows are materialised directly from the folded coefficients
+    computed by :func:`bpr_coefficients_batched` — callers that can consume
+    the factored form directly should use that function instead and skip the
+    ``(nnz, k)`` row array entirely.
 
     Parameters
     ----------
@@ -265,74 +397,19 @@ def bpr_loss_and_gradients_batched(
         Optional L2 regularisation (same convention as the per-user form).
     """
     user_vectors = np.asarray(user_vectors, dtype=np.float64)
-    positives, negatives = _validate_pairs(positives, negatives)
-    segment_ids = np.asarray(segment_ids, dtype=np.int64)
-    if segment_ids.shape != positives.shape:
-        raise ModelError(
-            f"segment_ids must align with the pairs, got shapes {segment_ids.shape} "
-            f"and {positives.shape}"
-        )
-    num_segments, k = user_vectors.shape
-    num_items = item_factors.shape[0]
-    if positives.shape[0] == 0:
-        return BatchedBPRGradients(
-            losses=np.zeros(num_segments, dtype=np.float64),
-            grad_users=np.zeros((num_segments, k), dtype=np.float64),
-            item_ids=np.empty(0, dtype=np.int64),
-            grad_rows=np.empty((0, k), dtype=np.float64),
-            segment_offsets=np.zeros(num_segments + 1, dtype=np.int64),
-        )
-
-    # All pairwise scores in one small GEMM: S[b, j] = u_b . v_j.  Gathering
-    # margins out of S touches far less memory than gathering the positive and
-    # negative item vectors per pair.
-    scores = user_vectors @ item_factors.T
-    flat_scores = scores.ravel()
-    score_base = segment_ids * num_items
-    margins = flat_scores[score_base + positives] - flat_scores[score_base + negatives]
-    losses = np.bincount(segment_ids, weights=-_log_sigmoid(margins), minlength=num_segments)
-    coefficients = -sigmoid(-margins)
-
-    # Fold the per-pair coefficients into per-(user, item) coefficients with a
-    # single stable sort over combined keys; within each user the ids come out
-    # sorted, matching the per-user np.unique of the reference implementation.
-    # A user's gradient row for positive j is coeff * u and for negative l is
-    # -coeff * u, so the sorted rows are materialised directly from the folded
-    # coefficients and a gather from the small stacked user matrix — never
-    # from a large intermediate per-pair row array.
-    keys = np.concatenate([score_base + positives, score_base + negatives])
-    signed = np.concatenate([coefficients, -coefficients])
-    unique_keys, folded = fold_by_key(keys, signed)
-    item_ids = unique_keys % num_items
-    owners = unique_keys // num_items
-    segment_offsets = np.searchsorted(owners, np.arange(num_segments + 1))
-    grad_rows = user_vectors[owners]
-    grad_rows *= folded[:, None]
-
-    # grad_user_b = sum_j c_bj * v_j — one sparse-matrix product against V
-    # using the CSR layout just built.
-    coefficient_matrix = _sparse.csr_matrix(
-        (folded, item_ids, segment_offsets), shape=(num_segments, num_items)
+    factored = bpr_coefficients_batched(
+        user_vectors, item_factors, segment_ids, positives, negatives, l2_reg=l2_reg
     )
-    grad_users = np.asarray(coefficient_matrix @ item_factors)
-
+    grad_rows = user_vectors[factored.owners]
+    grad_rows *= factored.coefficients[:, None]
     if l2_reg > 0.0:
-        touched = item_factors[item_ids]
-        grad_rows = grad_rows + 2.0 * l2_reg * touched
-        active = np.bincount(segment_ids, minlength=num_segments) > 0
-        grad_users[active] += 2.0 * l2_reg * user_vectors[active]
-        user_sq = np.einsum("ij,ij->i", user_vectors, user_vectors)
-        item_sq = np.bincount(
-            owners, weights=np.einsum("ij,ij->i", touched, touched), minlength=num_segments
-        )
-        losses = losses + np.where(active, l2_reg * user_sq, 0.0) + l2_reg * item_sq
-
+        grad_rows = grad_rows + 2.0 * l2_reg * item_factors[factored.item_ids]
     return BatchedBPRGradients(
-        losses=losses,
-        grad_users=grad_users,
-        item_ids=item_ids,
+        losses=factored.losses,
+        grad_users=factored.grad_users,
+        item_ids=factored.item_ids,
         grad_rows=grad_rows,
-        segment_offsets=segment_offsets,
+        segment_offsets=factored.segment_offsets,
     )
 
 

@@ -12,6 +12,7 @@ from repro.attacks.fedrecattack import (
     FedRecAttack,
     FedRecAttackConfig,
     attack_loss_and_gradient,
+    attack_loss_and_gradient_vectorized,
     g_derivative,
     g_function,
 )
@@ -136,6 +137,104 @@ class TestUserMatrixApproximator:
             np.linalg.norm(true_mean) * np.linalg.norm(approx_mean) + 1e-12
         )
         assert cosine > 0.5
+
+
+class TestVectorizedAttackerEquivalence:
+    """The stacked attacker implementations must match the loop references."""
+
+    def test_approximator_engines_match(self, small_split, small_public, rng):
+        item_factors = rng.normal(size=(small_split.train.num_items, 8), scale=0.4)
+        loop = UserMatrixApproximator(small_public, num_factors=8, rng=3, engine="loop")
+        vec = UserMatrixApproximator(small_public, num_factors=8, rng=3, engine="vectorized")
+        loop.refresh(item_factors, epochs=5)
+        vec.refresh(item_factors, epochs=5)
+        np.testing.assert_allclose(loop.user_factors, vec.user_factors, atol=1e-12)
+
+    def test_approximator_engines_consume_identical_rng_streams(
+        self, small_split, small_public, rng
+    ):
+        item_factors = rng.normal(size=(small_split.train.num_items, 8), scale=0.4)
+        loop = UserMatrixApproximator(small_public, num_factors=8, rng=3, engine="loop")
+        vec = UserMatrixApproximator(small_public, num_factors=8, rng=3, engine="vectorized")
+        loop.refresh(item_factors, epochs=2)
+        vec.refresh(item_factors, epochs=2)
+        # After identical work both private generators must be in the same
+        # state — the property that keeps whole-simulation runs equivalent.
+        assert loop._rng.integers(0, 2**60) == vec._rng.integers(0, 2**60)
+
+    def test_approximator_rejects_unknown_engine(self, small_public):
+        with pytest.raises(AttackError):
+            UserMatrixApproximator(small_public, num_factors=8, rng=0, engine="gpu")
+
+    @pytest.mark.parametrize("margin_mode", ["saturating", "linear"])
+    def test_attack_loss_and_gradient_match(
+        self, small_split, small_public, rng, margin_mode
+    ):
+        num_items = small_split.train.num_items
+        item_factors = rng.normal(size=(num_items, 6), scale=0.5)
+        user_factors = rng.normal(size=(small_split.train.num_users, 6), scale=0.5)
+        active = small_public.users_with_public_interactions()
+        targets = np.array([1, 3, 7])
+        loss_loop, grad_loop = attack_loss_and_gradient(
+            user_factors, item_factors, active, small_public, targets,
+            top_k=5, margin_mode=margin_mode,
+        )
+        loss_vec, grad_vec = attack_loss_and_gradient_vectorized(
+            user_factors, item_factors, active, small_public, targets,
+            top_k=5, margin_mode=margin_mode,
+        )
+        assert loss_vec == pytest.approx(loss_loop, rel=1e-9, abs=1e-12)
+        np.testing.assert_allclose(grad_vec, grad_loop, atol=1e-12)
+
+    def test_attack_loss_vectorized_deduplicates_targets(
+        self, small_split, small_public, rng
+    ):
+        # AttackContext guarantees unique targets in-protocol, but the
+        # exported function must not silently drop contributions when called
+        # directly with duplicates: it canonicalises to the unique set.
+        num_items = small_split.train.num_items
+        item_factors = rng.normal(size=(num_items, 6), scale=0.5)
+        user_factors = rng.normal(size=(small_split.train.num_users, 6), scale=0.5)
+        active = small_public.users_with_public_interactions()
+        loss_dup, grad_dup = attack_loss_and_gradient_vectorized(
+            user_factors, item_factors, active, small_public, np.array([3, 3, 7]), top_k=5
+        )
+        loss_ref, grad_ref = attack_loss_and_gradient(
+            user_factors, item_factors, active, small_public, np.array([3, 7]), top_k=5
+        )
+        assert loss_dup == pytest.approx(loss_ref, rel=1e-9, abs=1e-12)
+        np.testing.assert_allclose(grad_dup, grad_ref, atol=1e-12)
+
+    def test_attack_loss_vectorized_no_active_users(self, small_split, small_public):
+        loss, gradient = attack_loss_and_gradient_vectorized(
+            np.zeros((small_split.train.num_users, 6)),
+            np.zeros((small_split.train.num_items, 6)),
+            np.empty(0, dtype=np.int64),
+            small_public,
+            np.array([0]),
+            top_k=5,
+        )
+        assert loss == 0.0
+        np.testing.assert_allclose(gradient, 0.0)
+
+    def test_attack_loss_match_when_top_k_exceeds_items(
+        self, small_split, small_public, rng
+    ):
+        # top_k larger than the catalog exercises the -inf (public) entries
+        # inside the top-K set on both implementations.
+        num_items = small_split.train.num_items
+        item_factors = rng.normal(size=(num_items, 4), scale=0.5)
+        user_factors = rng.normal(size=(small_split.train.num_users, 4), scale=0.5)
+        active = small_public.users_with_public_interactions()[:8]
+        targets = np.array([2])
+        loss_loop, grad_loop = attack_loss_and_gradient(
+            user_factors, item_factors, active, small_public, targets, top_k=10 * num_items
+        )
+        loss_vec, grad_vec = attack_loss_and_gradient_vectorized(
+            user_factors, item_factors, active, small_public, targets, top_k=10 * num_items
+        )
+        assert loss_vec == pytest.approx(loss_loop, rel=1e-9, abs=1e-12)
+        np.testing.assert_allclose(grad_vec, grad_loop, atol=1e-12)
 
 
 class TestAttackLossAndGradient:

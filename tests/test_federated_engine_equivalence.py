@@ -11,6 +11,8 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
+from repro.attacks.fedrecattack import FedRecAttack, FedRecAttackConfig
+from repro.attacks.pipattack import PipAttack
 from repro.attacks.shilling import RandomAttack
 from repro.federated.config import FederatedConfig
 from repro.federated.simulation import FederatedSimulation
@@ -99,6 +101,40 @@ class TestEngineEquivalence:
         )
         _assert_equivalent(result_loop, result_vec)
         assert result_loop.final_er_at_5 == pytest.approx(result_vec.final_er_at_5, abs=0.02)
+
+    def test_under_fedrecattack(self, small_split, small_public, small_targets):
+        # The full attacker pipeline switches with the engine: the loop run
+        # uses the per-user approximation and attack-loss reference, the
+        # vectorized run the stacked implementations.  Both consume identical
+        # random streams, so the histories must still coincide.
+        def make_attack():
+            return FedRecAttack(
+                small_public,
+                FedRecAttackConfig(
+                    kappa=12, approx_epochs_initial=3, approx_epochs_per_round=1
+                ),
+            )
+
+        result_loop, sim_loop = _run(
+            small_split, small_targets, "loop", attack=make_attack(), num_malicious=4
+        )
+        result_vec, sim_vec = _run(
+            small_split, small_targets, "vectorized", attack=make_attack(), num_malicious=4
+        )
+        _assert_equivalent(result_loop, result_vec)
+        assert result_loop.final_er_at_5 == pytest.approx(result_vec.final_er_at_5, abs=0.02)
+        assert sim_loop.attack.last_attack_loss == pytest.approx(
+            sim_vec.attack.last_attack_loss, rel=1e-6, abs=1e-9
+        )
+
+    def test_under_pipattack(self, small_split, small_targets):
+        result_loop, _ = _run(
+            small_split, small_targets, "loop", attack=PipAttack(), num_malicious=4
+        )
+        result_vec, _ = _run(
+            small_split, small_targets, "vectorized", attack=PipAttack(), num_malicious=4
+        )
+        _assert_equivalent(result_loop, result_vec)
 
     def test_round_counters_agree(self, small_split, small_targets):
         _, sim_loop = _run(small_split, small_targets, "loop")
