@@ -23,16 +23,24 @@ switch as :attr:`repro.federated.config.FederatedConfig.engine`):
   fixed), so batching the whole epoch is exact, not an approximation.
 * ``"loop"`` — the original one-user-at-a-time reference implementation.
 
-Both engines draw each user's negative samples through the same attack RNG in
-the same order, so from identical seeds they produce matching approximations
-up to floating-point summation order.
+Negative sampling is orthogonal to the engine and selected by ``sampler``
+(propagated from :attr:`repro.federated.config.FederatedConfig.sampler`):
+``"permutation"`` draws one catalog permutation per active user in loop
+order, ``"batched"`` draws the whole epoch's negatives in one stacked
+rejection-sampling pass.  Each epoch's draws happen up front in both cases,
+so the two computation engines consume the attack RNG identically and from
+identical seeds produce matching approximations up to floating-point
+summation order — per sampler.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro.data.negative_sampling import sample_uniform_negatives
+from repro.data.negative_sampling import (
+    sample_uniform_negatives,
+    sample_uniform_negatives_batched,
+)
 from repro.data.public import PublicInteractions
 from repro.exceptions import AttackError
 from repro.models.losses import bpr_coefficients_batched, bpr_loss_and_gradients
@@ -63,6 +71,9 @@ class UserMatrixApproximator:
         ``"vectorized"`` batches each SGD epoch over all active users;
         ``"loop"`` is the per-user reference path.  Identical RNG streams,
         matching results.
+    sampler:
+        ``"permutation"`` (default) draws per user in loop order;
+        ``"batched"`` draws the epoch's negatives in one stacked pass.
     """
 
     def __init__(
@@ -74,6 +85,7 @@ class UserMatrixApproximator:
         init_scale: float = 0.01,
         rng: np.random.Generator | int | None = None,
         engine: str = "vectorized",
+        sampler: str = "permutation",
     ) -> None:
         if num_factors <= 0:
             raise AttackError("num_factors must be positive")
@@ -81,11 +93,16 @@ class UserMatrixApproximator:
             raise AttackError("learning_rate must be positive")
         if engine not in ("loop", "vectorized"):
             raise AttackError(f"engine must be 'loop' or 'vectorized', got {engine!r}")
+        if sampler not in ("permutation", "batched"):
+            raise AttackError(
+                f"sampler must be 'permutation' or 'batched', got {sampler!r}"
+            )
         self.public = public
         self.num_factors = int(num_factors)
         self.learning_rate = float(learning_rate)
         self.l2_reg = float(l2_reg)
         self.engine = engine
+        self.sampler = sampler
         self._rng = ensure_rng(rng)
         num_users = public.dataset.num_users
         self.user_factors = self._rng.normal(0.0, init_scale, size=(num_users, num_factors))
@@ -144,8 +161,36 @@ class UserMatrixApproximator:
                 self._epoch_vectorized(item_factors)
         else:
             for _ in range(epochs):
+                negatives = self._draw_epoch_negatives()
                 for row in range(self._active_users.shape[0]):
-                    self._update_user(row, item_factors)
+                    self._update_user(row, item_factors, negatives[row])
+
+    # ------------------------------------------------------------------ #
+    # Epoch negative sampling (shared by both engines)
+    # ------------------------------------------------------------------ #
+    def _draw_epoch_negatives(self) -> list[np.ndarray]:
+        """One epoch's negatives for every active user, drawn up front.
+
+        ``"permutation"``: one draw per user in loop order (the historical
+        stream).  ``"batched"``: one stacked rejection-sampling pass over all
+        active users.  Both engines call this at the top of an epoch, so the
+        attack RNG stream depends only on the sampler.
+        """
+        if self.sampler == "batched":
+            counts = np.array(
+                [positives.shape[0] for positives in self._positives], dtype=np.int64
+            )
+            values, offsets = sample_uniform_negatives_batched(
+                self._rng, self._num_items, counts, self._positive_masks
+            )
+            return [
+                values[offsets[row] : offsets[row + 1]]
+                for row in range(counts.shape[0])
+            ]
+        return [
+            self._sample_negatives(row, self._positives[row].shape[0])
+            for row in range(self._active_users.shape[0])
+        ]
 
     # ------------------------------------------------------------------ #
     # Vectorized epoch: one batched BPR call over all active users
@@ -153,16 +198,18 @@ class UserMatrixApproximator:
     def _epoch_vectorized(self, item_factors: np.ndarray) -> None:
         """One SGD pass over every active user in stacked numpy operations.
 
-        Negative samples are drawn per user in the same order as the loop
-        engine (keeping the attack RNG streams identical); the gradient math
-        — the expensive part — runs once over the concatenated pairs.
+        Negative samples are drawn up front through the configured sampler
+        (keeping the attack RNG streams identical to the loop engine's); the
+        gradient math — the expensive part — runs once over the concatenated
+        pairs.
         """
+        drawn = self._draw_epoch_negatives()
         positives_list: list[np.ndarray] = []
         negatives_list: list[np.ndarray] = []
         counts = np.zeros(self._active_users.shape[0], dtype=np.int64)
         for row in range(self._active_users.shape[0]):
             positives = self._positives[row]
-            negatives = self._sample_negatives(row, positives.shape[0])
+            negatives = drawn[row]
             if negatives.shape[0] < positives.shape[0]:
                 positives = positives[: negatives.shape[0]]
             counts[row] = positives.shape[0]
@@ -189,12 +236,13 @@ class UserMatrixApproximator:
     # ------------------------------------------------------------------ #
     # Loop reference path: one user at a time
     # ------------------------------------------------------------------ #
-    def _update_user(self, row: int, item_factors: np.ndarray) -> None:
+    def _update_user(
+        self, row: int, item_factors: np.ndarray, negatives: np.ndarray
+    ) -> None:
         user = int(self._active_users[row])
         positives = self._positives[row]
         if positives.shape[0] == 0:
             return
-        negatives = self._sample_negatives(row, positives.shape[0])
         if negatives.shape[0] < positives.shape[0]:
             positives = positives[: negatives.shape[0]]
         gradients = bpr_loss_and_gradients(

@@ -333,6 +333,7 @@ class FedRecAttack(Attack):
             l2_reg=self.config.approx_l2,
             rng=context.rng,
             engine=context.engine,
+            sampler=context.sampler,
         )
 
     def on_round_start(

@@ -16,6 +16,7 @@ Examples
 ::
 
     fedrecattack run --dataset ml-100k --attack fedrecattack --rho 0.05 --scale 0.1
+    fedrecattack run --dataset steam-200k --sampler batched --fuse-rounds 4
     fedrecattack table 7 --profile bench
     fedrecattack figure 3 --dataset steam-200k
 """
@@ -83,6 +84,25 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument("--targets", type=int, default=1, help="number of target items")
     run_parser.add_argument("--seed", type=int, default=0)
     run_parser.add_argument("--data-dir", default=None, help="directory with the real dataset files")
+    # Engine knobs.  Deliberately not argparse choices: unknown values are
+    # rejected by ExperimentConfig.validate() with a ConfigurationError, the
+    # same validation every programmatic entry point gets.
+    run_parser.add_argument(
+        "--engine",
+        default="vectorized",
+        help="round engine: 'vectorized' (default) or 'loop'",
+    )
+    run_parser.add_argument(
+        "--sampler",
+        default="permutation",
+        help="negative-sampling engine: 'permutation' (default) or 'batched'",
+    )
+    run_parser.add_argument(
+        "--fuse-rounds",
+        type=int,
+        default=1,
+        help="cross-round fusion window (>1 requires the vectorized engine)",
+    )
 
     table_parser = subparsers.add_parser("table", help="regenerate one of the paper's tables")
     table_parser.add_argument("table", choices=sorted(_TABLES), help="table number or 'defense'")
@@ -113,6 +133,9 @@ def _command_run(args: argparse.Namespace) -> int:
         num_factors=args.factors,
         num_epochs=args.epochs,
         clients_per_round=args.clients_per_round,
+        engine=args.engine,
+        sampler=args.sampler,
+        fuse_rounds=args.fuse_rounds,
         seed=args.seed,
     )
     result = run_experiment(config)

@@ -10,13 +10,19 @@ side:
 * loaders for the real dataset files when they are available,
 * leave-one-out train/test splitting as used in the paper,
 * public-interaction sampling (the attacker's prior knowledge, ratio ``xi``),
-* negative sampling for BPR training,
+* negative sampling for BPR training (the per-user permutation engine and
+  the stacked batched rejection sampler),
 * dataset statistics reproducing Table II.
 """
 
 from repro.data.dataset import InteractionDataset
 from repro.data.loaders import load_dataset, load_movielens_file, load_steam_file
-from repro.data.negative_sampling import NegativeSampler
+from repro.data.negative_sampling import (
+    SAMPLER_ENGINES,
+    NegativeSampler,
+    sample_uniform_negatives,
+    sample_uniform_negatives_batched,
+)
 from repro.data.presets import (
     DATASET_PRESETS,
     DatasetPreset,
@@ -31,6 +37,9 @@ from repro.data.synthetic import SyntheticConfig, generate_synthetic_dataset
 __all__ = [
     "InteractionDataset",
     "NegativeSampler",
+    "SAMPLER_ENGINES",
+    "sample_uniform_negatives",
+    "sample_uniform_negatives_batched",
     "PublicInteractions",
     "sample_public_interactions",
     "TrainTestSplit",

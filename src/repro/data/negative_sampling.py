@@ -1,13 +1,28 @@
 """Negative sampling for BPR training.
 
 Each user client samples a set of negative items ``V-_i'`` of the same size
-as its positive set and trains on the paired loss of Eq. (4).  The sampler
-below reproduces that: it draws uniform negatives that the user has not
-interacted with, optionally resampling every round.
+as its positive set and trains on the paired loss of Eq. (4).  Two sampling
+engines implement that draw (selected by ``FederatedConfig.sampler``):
 
-:func:`sample_uniform_negatives` is the shared mask-based implementation used
-by both the data-layer :class:`NegativeSampler` and the federated clients —
-it replaces the old per-item Python rejection loop with vectorised draws.
+* :func:`sample_uniform_negatives` — the ``"permutation"`` engine.  One user
+  at a time, a random permutation of the catalog is filtered through the
+  user's positive mask and truncated: an exact uniform draw without
+  replacement, consumed from a *per-user* RNG stream.  This is the historical
+  engine and the default; its realizations are frozen by the engine
+  equivalence contract.
+* :func:`sample_uniform_negatives_batched` — the ``"batched"`` engine.  One
+  stacked rejection-sampling pass draws negatives for *many* users at once
+  from a *single shared* RNG stream: oversampled uniform candidates, masked
+  against the stacked positive masks, deduplicated in draw order, and
+  resampled until every user has its quota.  Accepting candidates in draw
+  order (skipping rejects and duplicates) is classic rejection sampling, so
+  each user's accepted set is still an exact uniform draw without
+  replacement from the complement of its positives — only the random
+  *stream* (and therefore every training realization) differs from the
+  permutation engine.
+
+Both engines are exact; see ``docs/architecture.md`` for the two RNG
+contracts and which simulation streams feed them.
 """
 
 from __future__ import annotations
@@ -18,7 +33,15 @@ from repro.data.dataset import InteractionDataset
 from repro.exceptions import DataError
 from repro.rng import ensure_rng
 
-__all__ = ["NegativeSampler", "sample_uniform_negatives"]
+__all__ = [
+    "NegativeSampler",
+    "sample_uniform_negatives",
+    "sample_uniform_negatives_batched",
+    "SAMPLER_ENGINES",
+]
+
+#: The valid values of every ``sampler`` switch in the package.
+SAMPLER_ENGINES = ("permutation", "batched")
 
 
 def sample_uniform_negatives(
@@ -46,16 +69,118 @@ def sample_uniform_negatives(
     return negatives[:count]
 
 
+def sample_uniform_negatives_batched(
+    rng: np.random.Generator,
+    num_items: int,
+    counts: np.ndarray,
+    positive_masks: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Draw distinct uniform negatives for ``B`` users in one stacked pass.
+
+    Parameters
+    ----------
+    rng:
+        The shared stream the whole batch consumes (the batched sampler's RNG
+        contract: one stream per draw site, not one per user).
+    num_items:
+        Catalog size ``N``.
+    counts:
+        Requested negatives per user, shape ``(B,)``.  Automatically capped at
+        each user's complement size ``N - |positives|``.
+    positive_masks:
+        Stacked boolean positive masks, shape ``(B, N)``.  Not modified.
+
+    Returns
+    -------
+    (negatives, offsets):
+        CSR-style result: user ``b``'s negatives are
+        ``negatives[offsets[b]:offsets[b + 1]]``, in acceptance (draw) order.
+
+    The rejection loop oversamples each round by the inverse acceptance
+    probability, so even users whose positives cover most of the catalog
+    finish in a handful of rounds; every candidate is tested against the
+    positives *and* the already-accepted items, and duplicates within a round
+    are dropped keeping first occurrences, which makes the accepted sequence
+    an exact uniform draw without replacement.
+    """
+    counts = np.asarray(counts, dtype=np.int64)
+    num_users = counts.shape[0]
+    if positive_masks.shape != (num_users, num_items):
+        raise DataError(
+            f"positive_masks must have shape ({num_users}, {num_items}), "
+            f"got {positive_masks.shape}"
+        )
+    if np.any(counts < 0):
+        raise DataError("counts must be non-negative")
+    num_positives = positive_masks.sum(axis=1)
+    counts = np.minimum(counts, num_items - num_positives)
+    offsets = np.zeros(num_users + 1, dtype=np.int64)
+    np.cumsum(counts, out=offsets[1:])
+    total = int(offsets[-1])
+    negatives = np.empty(total, dtype=np.int64)
+    if total == 0:
+        return negatives, offsets
+
+    # ``taken`` marks everything a candidate must avoid: the user's positives
+    # plus its already-accepted negatives from earlier rejection rounds.
+    taken = positive_masks.copy()
+    filled = np.zeros(num_users, dtype=np.int64)
+    remaining = counts.copy()
+    pending = np.flatnonzero(remaining > 0)
+    while pending.shape[0] > 0:
+        # Acceptance probability per pending user; oversample accordingly
+        # (plus slack) so nearly every user finishes this round.
+        free = num_items - num_positives[pending] - filled[pending]
+        draws = np.ceil(remaining[pending] * (num_items / free) * 1.2).astype(np.int64) + 4
+        owners = np.repeat(np.arange(pending.shape[0], dtype=np.int64), draws)
+        candidates = rng.integers(0, num_items, size=owners.shape[0], dtype=np.int64)
+        ok = ~taken[pending[owners], candidates]
+        owners, candidates = owners[ok], candidates[ok]
+        # Deduplicate per (user, item) keeping first occurrences, then restore
+        # draw order so truncation to the remaining quota stays unbiased.
+        keys = owners * num_items + candidates
+        _, first = np.unique(keys, return_index=True)
+        first.sort()
+        owners, candidates = owners[first], candidates[first]
+        # Rank of each accepted candidate within its user (owners are sorted
+        # ascending after np.unique + sort, with draw order preserved inside
+        # each user because keys share the owner's block).
+        starts = np.searchsorted(owners, np.arange(pending.shape[0]))
+        ranks = np.arange(owners.shape[0], dtype=np.int64) - starts[owners]
+        keep = ranks < remaining[pending[owners]]
+        owners, candidates, ranks = owners[keep], candidates[keep], ranks[keep]
+        users = pending[owners]
+        taken[users, candidates] = True
+        negatives[offsets[users] + filled[users] + ranks] = candidates
+        accepted = np.bincount(owners, minlength=pending.shape[0])
+        filled[pending] += accepted
+        remaining[pending] -= accepted
+        pending = pending[remaining[pending] > 0]
+    return negatives, offsets
+
+
 class NegativeSampler:
-    """Samples negative items for users of an :class:`InteractionDataset`."""
+    """Samples negative items for users of an :class:`InteractionDataset`.
+
+    ``sampler`` selects the engine: ``"permutation"`` (default, one
+    catalog permutation per call) or ``"batched"`` (the stacked
+    rejection-sampling pass, here degenerate at batch size one but consuming
+    the same kind of stream as the federated round sampler).
+    """
 
     def __init__(
         self,
         dataset: InteractionDataset,
         rng: np.random.Generator | int | None = None,
+        sampler: str = "permutation",
     ) -> None:
+        if sampler not in SAMPLER_ENGINES:
+            raise DataError(
+                f"sampler must be one of {SAMPLER_ENGINES}, got {sampler!r}"
+            )
         self._dataset = dataset
         self._rng = ensure_rng(rng)
+        self._sampler = sampler
 
     def sample_for_user(self, user: int, count: int | None = None) -> np.ndarray:
         """Sample ``count`` negative items for ``user``.
@@ -72,6 +197,14 @@ class NegativeSampler:
         num_items = self._dataset.num_items
         positive_mask = np.zeros(num_items, dtype=bool)
         positive_mask[positives] = True
+        if self._sampler == "batched":
+            negatives, _ = sample_uniform_negatives_batched(
+                self._rng,
+                num_items,
+                np.array([count], dtype=np.int64),
+                positive_mask[None, :],
+            )
+            return negatives
         return sample_uniform_negatives(self._rng, num_items, count, positive_mask)
 
     def sample_pairs(self, user: int) -> tuple[np.ndarray, np.ndarray]:

@@ -15,6 +15,7 @@ Two layers of configuration are used throughout the harness:
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field, replace
 
 from repro.exceptions import ConfigurationError
@@ -53,6 +54,8 @@ class ExperimentConfig:
     aggregator: str = "sum"
     aggregator_options: dict = field(default_factory=dict)
     engine: str = "vectorized"
+    sampler: str = "permutation"
+    fuse_rounds: int = 1
     evaluate_every: int | None = None
     eval_num_negatives: int | None = 99
     seed: int = 0
@@ -91,6 +94,8 @@ class ExperimentConfig:
             aggregator=self.aggregator,
             aggregator_options=dict(self.aggregator_options),
             engine=self.engine,
+            sampler=self.sampler,
+            fuse_rounds=self.fuse_rounds,
         )
 
     def with_overrides(self, **kwargs) -> "ExperimentConfig":
@@ -105,7 +110,11 @@ class ExperimentProfile:
     ``dataset_aliases`` optionally replaces a dataset by a calibrated
     miniature preset (used by the benchmark profile), ``dataset_scales`` maps
     each dataset to a uniform down-scaling factor, and the remaining fields
-    override the heavyweight training hyper-parameters.
+    override the heavyweight training hyper-parameters.  ``sampler`` and
+    ``fuse_rounds``, when set, override the negative-sampling engine and the
+    cross-round fusion window of every run regenerated at this profile — this
+    is how the qualitative table/figure gates are re-validated under the
+    ``"batched"`` sampler (see ``REPRO_BENCH_SAMPLER`` below).
     """
 
     name: str
@@ -117,6 +126,8 @@ class ExperimentProfile:
     dataset_scales: dict[str, float] = field(default_factory=dict)
     dataset_aliases: dict[str, str] = field(default_factory=dict)
     seed: int = 0
+    sampler: str | None = None
+    fuse_rounds: int | None = None
 
     def scale_for(self, dataset: str) -> float:
         """Down-scaling factor for ``dataset`` (1.0 when not listed)."""
@@ -128,7 +139,7 @@ class ExperimentProfile:
 
     def apply(self, config: ExperimentConfig) -> ExperimentConfig:
         """Apply this profile's scale and training overrides to ``config``."""
-        return config.with_overrides(
+        overrides = dict(
             dataset=self.dataset_for(config.dataset),
             scale=self.scale_for(config.dataset),
             num_epochs=self.num_epochs,
@@ -138,6 +149,11 @@ class ExperimentProfile:
             learning_rate=self.learning_rate,
             seed=self.seed,
         )
+        if self.sampler is not None:
+            overrides["sampler"] = self.sampler
+        if self.fuse_rounds is not None:
+            overrides["fuse_rounds"] = self.fuse_rounds
+        return config.with_overrides(**overrides)
 
 
 #: Full paper-scale settings: real dataset sizes and 200 training epochs.
@@ -154,6 +170,31 @@ PAPER_PROFILE = ExperimentProfile(
 #: datasets, fewer epochs, a higher learning rate (so the same effective
 #: optimisation horizon eta * epochs is reached in far fewer rounds) and
 #: smaller client batches.
+#:
+#: ``REPRO_BENCH_SAMPLER`` / ``REPRO_BENCH_FUSE_ROUNDS`` switch the sampler
+#: engine and fusion window of the whole benchmark suite without touching the
+#: tests — e.g. ``REPRO_BENCH_SAMPLER=batched pytest benchmarks/`` re-validates
+#: every qualitative table/figure gate under the batched sampler's
+#: realizations.  Unset, the profile pins nothing and runs keep the
+#: ``ExperimentConfig`` defaults (permutation, no fusion).
+def _bench_fuse_rounds_from_env() -> int | None:
+    """Parse ``REPRO_BENCH_FUSE_ROUNDS``, failing with a clear error.
+
+    Read at import time (the profile is a module-level constant), so a
+    malformed value must surface as a :class:`ConfigurationError` naming the
+    variable rather than a bare ``ValueError`` from deep inside an import.
+    """
+    raw = os.environ.get("REPRO_BENCH_FUSE_ROUNDS")
+    if not raw:
+        return None
+    try:
+        return int(raw)
+    except ValueError as error:
+        raise ConfigurationError(
+            f"REPRO_BENCH_FUSE_ROUNDS must be an integer, got {raw!r}"
+        ) from error
+
+
 BENCH_PROFILE = ExperimentProfile(
     name="bench",
     num_epochs=35,
@@ -166,4 +207,6 @@ BENCH_PROFILE = ExperimentProfile(
         "ml-1m": "ml-1m-mini",
         "steam-200k": "steam-200k-mini",
     },
+    sampler=os.environ.get("REPRO_BENCH_SAMPLER") or None,
+    fuse_rounds=_bench_fuse_rounds_from_env(),
 )

@@ -177,26 +177,64 @@ class BenignClient(Client):
             self.positives, self.positives.shape[0], self._positive_mask
         )
 
+    @property
+    def positive_mask(self) -> np.ndarray:
+        """Boolean mask of the client's positives over the catalog (read-only).
+
+        The batched round sampler stacks these masks to draw a whole round's
+        negatives in one pass; treat the array as immutable.
+        """
+        return self._positive_mask
+
+    @property
+    def needs_fresh_negatives(self) -> bool:
+        """Whether :meth:`draw_pairs` would draw a fresh negative sample."""
+        return self.resample_negatives or self._negatives.shape[0] < self.positives.shape[0]
+
     def draw_pairs(self) -> tuple[np.ndarray, np.ndarray]:
         """The round's aligned (positives, negatives) training pairs.
 
-        Both the per-client and the vectorized round engine call this, so the
-        two engines consume identical per-client random streams and train on
-        identical pairs.
+        Both the per-client and the vectorized round engine call this under
+        the ``"permutation"`` sampler, so the two engines consume identical
+        per-client random streams and train on identical pairs.  Under the
+        ``"batched"`` sampler the round engine draws every client's negatives
+        from the shared round stream instead and hands them to
+        :meth:`accept_negatives`.
         """
-        if self.resample_negatives or self._negatives.shape[0] < self.positives.shape[0]:
+        if self.needs_fresh_negatives:
             self._negatives = self._sample_negatives(
                 self.positives, self.positives.shape[0], self._positive_mask
             )
+        return self._current_pairs()
+
+    def accept_negatives(self, negatives: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Install externally drawn negatives and return the round's pairs.
+
+        This is the batched-sampler entry point: the round engine draws the
+        negatives of all selected clients in one stacked pass and each client
+        keeps its slice (so ``resample_negatives=False`` still reuses it on
+        later rounds).
+        """
+        self._negatives = np.asarray(negatives, dtype=np.int64)
+        return self._current_pairs()
+
+    def _current_pairs(self) -> tuple[np.ndarray, np.ndarray]:
         negatives = self._negatives[: self.positives.shape[0]]
         positives = self.positives[: negatives.shape[0]]
         return positives, negatives
 
     def local_train(
-        self, item_factors: np.ndarray, scorer: MLPScorer | None = None
+        self,
+        item_factors: np.ndarray,
+        scorer: MLPScorer | None = None,
+        pairs: tuple[np.ndarray, np.ndarray] | None = None,
     ) -> ClientUpdate:
-        """One local training round: compute gradients, update ``u_i`` locally."""
-        positives, negatives = self.draw_pairs()
+        """One local training round: compute gradients, update ``u_i`` locally.
+
+        ``pairs`` lets the loop engine inject pairs drawn by the batched
+        round sampler; ``None`` draws through the client's own stream.
+        """
+        positives, negatives = self.draw_pairs() if pairs is None else pairs
         return self._train_on_profile(positives, negatives, item_factors, scorer)
 
 

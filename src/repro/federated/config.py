@@ -59,6 +59,30 @@ class FederatedConfig:
         reference implementation.  Both consume identical per-client random
         streams, so they produce matching results up to floating-point
         summation order.
+    sampler:
+        Which negative-sampling engine clients (and the attacker's
+        user-matrix approximation) draw from.  ``"permutation"`` (default)
+        keeps the historical per-user permutation draws and their per-client
+        RNG streams — training realizations are bit-identical to earlier
+        releases.  ``"batched"`` draws a whole round's negatives in one
+        stacked rejection-sampling pass from a shared round-level stream;
+        still an exact uniform draw, but a *different* realization (the
+        qualitative result gates are validated under both).  Either engine
+        works with either sampler: the loop engine under the batched sampler
+        consumes the same round-level stream, so loop/vectorized equivalence
+        holds per sampler.
+    fuse_rounds:
+        Cross-round fusion window of the vectorized MF engine.  ``1``
+        (default) computes each round exactly against the freshest item
+        matrix.  ``F > 1`` schedules ``F`` consecutive same-epoch rounds'
+        local training through one stacked kernel invocation against the
+        item matrix at the window start; the resulting factored updates are
+        still privatised, attack-extended, observed and aggregated one round
+        at a time, so aggregation semantics, DP clipping and attack
+        injection are unchanged — only the benign gradients inside a window
+        are computed against an up-to-``F - 1``-rounds-stale ``V`` (a
+        delayed-gradient trade-off that changes the realization, like the
+        sampler switch).  Requires the vectorized engine and plain MF.
     """
 
     num_factors: int = 32
@@ -76,6 +100,8 @@ class FederatedConfig:
     use_learnable_scorer: bool = False
     scorer_hidden_units: int = 32
     engine: str = "vectorized"
+    sampler: str = "permutation"
+    fuse_rounds: int = 1
 
     def validate(self) -> None:
         """Raise :class:`ConfigurationError` on inconsistent settings."""
@@ -100,4 +126,20 @@ class FederatedConfig:
         if self.engine not in ("loop", "vectorized"):
             raise ConfigurationError(
                 f"engine must be 'loop' or 'vectorized', got {self.engine!r}"
+            )
+        if self.sampler not in ("permutation", "batched"):
+            raise ConfigurationError(
+                f"sampler must be 'permutation' or 'batched', got {self.sampler!r}"
+            )
+        if self.fuse_rounds < 1:
+            raise ConfigurationError("fuse_rounds must be at least 1")
+        if self.fuse_rounds > 1 and self.engine != "vectorized":
+            raise ConfigurationError(
+                "fuse_rounds > 1 requires the vectorized engine "
+                f"(got engine={self.engine!r})"
+            )
+        if self.fuse_rounds > 1 and self.use_learnable_scorer:
+            raise ConfigurationError(
+                "fuse_rounds > 1 is only supported for plain MF "
+                "(the scorer path has no factored round representation)"
             )

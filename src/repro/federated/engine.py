@@ -5,8 +5,11 @@ for *all* selected benign clients with stacked numpy operations instead of a
 per-client Python loop:
 
 * every client's (positives, negatives) pairs for the round are drawn through
-  the same per-client :meth:`BenignClient.draw_pairs` the loop engine uses
-  (so both engines consume identical per-client random streams),
+  :meth:`draw_round_pairs` — under the ``"permutation"`` sampler via the same
+  per-client :meth:`BenignClient.draw_pairs` the loop engine uses, under the
+  ``"batched"`` sampler via one stacked rejection-sampling pass over all
+  selected clients from the shared round stream (both engines call this
+  method, so loop/vectorized equivalence holds under either sampler),
 * the user vectors are stacked into a ``(B, k)`` matrix, the positive and
   negative item vectors are gathered once, and the BPR margins, coefficients,
   per-user losses and all gradients are computed in bulk
@@ -18,16 +21,28 @@ per-client Python loop:
   / ``mean`` aggregators and the DP mechanism consume without ever
   materialising the ``(nnz, k)`` gradient-row array.
 
+:meth:`train_rounds` is the *cross-round fusion* kernel
+(``FederatedConfig.fuse_rounds > 1``): the local training of several
+consecutive same-epoch rounds — whose client sets are disjoint, since an
+epoch shuffles every client into exactly one round — runs through a single
+stacked :func:`bpr_coefficients_batched` invocation against the item matrix
+at the window start, and is then split back into one
+:class:`FactoredRoundUpdates` per round so privatisation, attack injection,
+observation and aggregation stay strictly per-round.
+
 The MLP-scorer path is batched the same way through
 :meth:`MLPScorer.score_and_segment_gradients`, which returns per-client
 ``Theta`` gradients in one call; its item-gradient rows are not rank-1, so it
-emits the CSR-style :class:`~repro.federated.updates.SparseRoundUpdates`.
+emits the CSR-style :class:`~repro.federated.updates.SparseRoundUpdates` (and
+does not support fusion).
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from repro.data.negative_sampling import sample_uniform_negatives_batched
+from repro.exceptions import FederationError
 from repro.federated.client import BenignClient
 from repro.federated.config import FederatedConfig
 from repro.federated.privacy import GaussianNoiseMechanism
@@ -43,9 +58,22 @@ from repro.models.neural import MLPScorer
 
 __all__ = ["BatchedRoundTrainer"]
 
+Pairs = tuple[np.ndarray, np.ndarray]
+
 
 class BatchedRoundTrainer:
-    """Trains a round's benign clients in one batched computation."""
+    """Trains a round's benign clients in one batched computation.
+
+    Parameters
+    ----------
+    clients, config, privacy, num_items:
+        The benign client registry, the protocol configuration, the DP
+        mechanism and the catalog size.
+    round_rng:
+        The shared round-sampler stream consumed by the ``"batched"``
+        sampler (one stacked draw per round, in client selection order).
+        Required when ``config.sampler == "batched"``.
+    """
 
     def __init__(
         self,
@@ -53,12 +81,56 @@ class BatchedRoundTrainer:
         config: FederatedConfig,
         privacy: GaussianNoiseMechanism,
         num_items: int,
+        round_rng: np.random.Generator | None = None,
     ) -> None:
+        if config.sampler == "batched" and round_rng is None:
+            raise FederationError("the batched sampler requires a round_rng stream")
         self._clients = clients
         self._config = config
         self._privacy = privacy
         self._num_items = int(num_items)
+        self._round_rng = round_rng
 
+    # ------------------------------------------------------------------ #
+    # Pair drawing (shared by the loop and vectorized engines)
+    # ------------------------------------------------------------------ #
+    def draw_round_pairs(self, benign_ids: list[int]) -> list[Pairs]:
+        """The round's (positives, negatives) pairs, aligned with ``benign_ids``.
+
+        ``"permutation"`` sampler: one :meth:`BenignClient.draw_pairs` call
+        per client, consuming the per-client streams.  ``"batched"`` sampler:
+        one stacked rejection-sampling draw from the round stream covering
+        every selected client that needs fresh negatives (clients with a
+        still-valid cached sample, e.g. under
+        ``resample_negatives_each_epoch=False``, keep it).  Both engines call
+        this method, so the realization depends only on the sampler, not on
+        the engine.
+        """
+        clients = [self._clients[cid] for cid in benign_ids]
+        if self._config.sampler != "batched":
+            return [client.draw_pairs() for client in clients]
+        pairs: list[Pairs | None] = [None] * len(clients)
+        fresh = [i for i, client in enumerate(clients) if client.needs_fresh_negatives]
+        if fresh:
+            masks = np.stack([clients[i].positive_mask for i in fresh])
+            counts = np.array(
+                [clients[i].positives.shape[0] for i in fresh], dtype=np.int64
+            )
+            negatives, offsets = sample_uniform_negatives_batched(
+                self._round_rng, self._num_items, counts, masks
+            )
+            for row, i in enumerate(fresh):
+                pairs[i] = clients[i].accept_negatives(
+                    negatives[offsets[row] : offsets[row + 1]]
+                )
+        for i, client in enumerate(clients):
+            if pairs[i] is None:
+                pairs[i] = client.draw_pairs()
+        return pairs  # type: ignore[return-value]
+
+    # ------------------------------------------------------------------ #
+    # Single-round training
+    # ------------------------------------------------------------------ #
     def train_round(
         self,
         benign_ids: list[int],
@@ -74,32 +146,12 @@ class BatchedRoundTrainer:
         loop engine reports it).
         """
         num_clients = len(benign_ids)
-        num_factors = self._config.num_factors
         if num_clients == 0:
-            empty = SparseRoundUpdates(
-                client_ids=np.empty(0, dtype=np.int64),
-                item_ids=np.empty(0, dtype=np.int64),
-                grad_rows=np.empty((0, num_factors), dtype=np.float64),
-                client_offsets=np.zeros(1, dtype=np.int64),
-                losses=np.empty(0, dtype=np.float64),
-                malicious_mask=np.empty(0, dtype=bool),
-            )
-            return empty, 0.0
+            return self._empty_round(), 0.0
 
         clients = [self._clients[cid] for cid in benign_ids]
-        pair_lists = [client.draw_pairs() for client in clients]
-        counts = np.array([pairs[0].shape[0] for pairs in pair_lists], dtype=np.int64)
-        segment_ids = np.repeat(np.arange(num_clients, dtype=np.int64), counts)
-        positives = (
-            np.concatenate([pairs[0] for pairs in pair_lists])
-            if counts.sum() > 0
-            else np.empty(0, dtype=np.int64)
-        )
-        negatives = (
-            np.concatenate([pairs[1] for pairs in pair_lists])
-            if counts.sum() > 0
-            else np.empty(0, dtype=np.int64)
-        )
+        pair_lists = self.draw_round_pairs(benign_ids)
+        segment_ids, positives, negatives = _stack_pairs(pair_lists)
         user_vectors = np.stack([client.user_vector for client in clients])
 
         if scorer is None:
@@ -138,13 +190,114 @@ class BatchedRoundTrainer:
                 theta_mask=np.ones(num_clients, dtype=bool),
             )
 
-        stepped = user_vectors - self._config.learning_rate * batched.grad_users
+        self._step_clients(clients, user_vectors, batched.grad_users)
+        round_updates = self._privacy.apply_round(round_updates)
+        return round_updates, float(batched.losses.sum())
+
+    # ------------------------------------------------------------------ #
+    # Cross-round fusion (MF path only)
+    # ------------------------------------------------------------------ #
+    def train_rounds(
+        self,
+        benign_ids_per_round: list[list[int]],
+        item_factors: np.ndarray,
+    ) -> list[tuple["FactoredRoundUpdates | SparseRoundUpdates", float]]:
+        """Fused local training of several consecutive same-epoch rounds.
+
+        All rounds' clients are stacked into one
+        :func:`bpr_coefficients_batched` invocation against ``item_factors``
+        (the shared item matrix at the window start), then the result is
+        sliced back into one privatised :class:`FactoredRoundUpdates` per
+        round, in round order — so the DP noise stream, attack injection and
+        aggregation are consumed round by round exactly as without fusion.
+
+        Pair drawing stays per-round (in round order), so the sampling
+        streams are identical to the unfused schedule under either sampler;
+        the only semantic difference of fusion is that rounds after the first
+        train against a stale ``V``.  The client sets of the fused rounds
+        must be disjoint (an epoch schedule guarantees this); overlapping
+        windows fall back to sequential per-round training.
+        """
+        all_ids = [cid for ids in benign_ids_per_round for cid in ids]
+        if len(set(all_ids)) != len(all_ids):
+            # A client appearing twice would need its first local step applied
+            # before its second round's gradients — not expressible in one
+            # stacked kernel, so compute those windows round by round.
+            return [
+                self.train_round(ids, item_factors, None)
+                for ids in benign_ids_per_round
+            ]
+
+        round_pairs = [self.draw_round_pairs(ids) for ids in benign_ids_per_round]
+        if not all_ids:
+            return [(self._empty_round(), 0.0) for _ in benign_ids_per_round]
+
+        clients = [self._clients[cid] for cid in all_ids]
+        segment_ids, positives, negatives = _stack_pairs(
+            [pairs for rp in round_pairs for pairs in rp]
+        )
+        user_vectors = np.stack([client.user_vector for client in clients])
+        l2_reg = self._config.l2_reg
+        batched = bpr_coefficients_batched(
+            user_vectors,
+            item_factors,
+            segment_ids,
+            positives,
+            negatives,
+            l2_reg=l2_reg,
+        )
+        self._step_clients(clients, user_vectors, batched.grad_users)
+
+        results: list[tuple[FactoredRoundUpdates | SparseRoundUpdates, float]] = []
+        offsets = batched.segment_offsets
+        client_start = 0
+        for ids in benign_ids_per_round:
+            if not ids:
+                results.append((self._empty_round(), 0.0))
+                continue
+            c0, c1 = client_start, client_start + len(ids)
+            client_start = c1
+            lo, hi = int(offsets[c0]), int(offsets[c1])
+            round_updates = FactoredRoundUpdates(
+                client_ids=np.asarray(ids, dtype=np.int64),
+                item_ids=batched.item_ids[lo:hi],
+                coefficients=batched.coefficients[lo:hi],
+                client_offsets=offsets[c0 : c1 + 1] - lo,
+                user_vectors=user_vectors[c0:c1],
+                losses=batched.losses[c0:c1],
+                malicious_mask=np.zeros(len(ids), dtype=bool),
+                ridge=2.0 * l2_reg if l2_reg > 0.0 else 0.0,
+                ridge_matrix=item_factors if l2_reg > 0.0 else None,
+            )
+            round_updates = self._privacy.apply_round(round_updates)
+            results.append((round_updates, float(batched.losses[c0:c1].sum())))
+        return results
+
+    # ------------------------------------------------------------------ #
+    # Internals
+    # ------------------------------------------------------------------ #
+    def _empty_round(self) -> SparseRoundUpdates:
+        num_factors = self._config.num_factors
+        return SparseRoundUpdates(
+            client_ids=np.empty(0, dtype=np.int64),
+            item_ids=np.empty(0, dtype=np.int64),
+            grad_rows=np.empty((0, num_factors), dtype=np.float64),
+            client_offsets=np.zeros(1, dtype=np.int64),
+            losses=np.empty(0, dtype=np.float64),
+            malicious_mask=np.empty(0, dtype=bool),
+        )
+
+    def _step_clients(
+        self,
+        clients: list[BenignClient],
+        user_vectors: np.ndarray,
+        grad_users: np.ndarray,
+    ) -> None:
+        """Apply every client's local SGD step on its private vector."""
+        stepped = user_vectors - self._config.learning_rate * grad_users
         for index, client in enumerate(clients):
             client.user_vector = stepped[index].copy()
             client.participation_count += 1
-
-        round_updates = self._privacy.apply_round(round_updates)
-        return round_updates, float(batched.losses.sum())
 
     def _scorer_round(
         self,
@@ -209,3 +362,16 @@ class BatchedRoundTrainer:
             segment_offsets=segment_offsets,
         )
         return batched, theta_gradients
+
+
+def _stack_pairs(pair_lists: list[Pairs]) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Concatenate per-client pairs into (segment_ids, positives, negatives)."""
+    counts = np.array([pairs[0].shape[0] for pairs in pair_lists], dtype=np.int64)
+    segment_ids = np.repeat(np.arange(len(pair_lists), dtype=np.int64), counts)
+    if counts.sum() > 0:
+        positives = np.concatenate([pairs[0] for pairs in pair_lists])
+        negatives = np.concatenate([pairs[1] for pairs in pair_lists])
+    else:
+        positives = np.empty(0, dtype=np.int64)
+        negatives = np.empty(0, dtype=np.int64)
+    return segment_ids, positives, negatives

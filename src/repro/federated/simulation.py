@@ -16,11 +16,18 @@ Two round engines are available, selected by ``FederatedConfig.engine``:
   :class:`~repro.federated.updates.SparseRoundUpdates` structure.
 * ``"loop"`` — the original one-client-at-a-time reference implementation.
 
-Both engines draw each client's training pairs through the same per-client
-random streams, so from identical seeds they produce matching training
-histories up to floating-point summation order.  Attack scheduling and the
-round counter are driven by the server's ``rounds_applied``, which counts
-every protocol round (empty ones included).
+Both engines draw each client's training pairs through the same sampler
+streams (per-client streams under ``sampler="permutation"``, one shared
+round-level stream under ``sampler="batched"``), so from identical seeds they
+produce matching training histories up to floating-point summation order.
+Attack scheduling and the round counter are driven by the server's
+``rounds_applied``, which counts every protocol round (empty ones included).
+
+With ``FederatedConfig.fuse_rounds > 1`` (vectorized MF only) the epoch's
+rounds are scheduled in fusion windows: each window's benign local training
+runs through one stacked kernel invocation against the item matrix at the
+window start, while privatisation, attack injection, observers and
+aggregation still happen one round at a time in round order.
 """
 
 from __future__ import annotations
@@ -159,6 +166,10 @@ class FederatedSimulation:
         self._seeds = seed if isinstance(seed, SeedSequenceFactory) else SeedSequenceFactory(seed)
         self._schedule_rng = self._seeds.generator("schedule")
         self._eval_rng = self._seeds.generator("evaluation")
+        # The shared stream of the "batched" sampler.  Derived by name, so
+        # creating it never perturbs any other stream — permutation-sampler
+        # runs stay bit-identical to releases that predate it.
+        self._round_sampler_rng = self._seeds.generator("round-sampler")
 
         self.server = Server(train.num_items, config, rng=self._seeds.generator("server"))
         self.privacy = GaussianNoiseMechanism(
@@ -173,7 +184,11 @@ class FederatedSimulation:
             sorted(self.benign_clients) + sorted(self.malicious_clients), dtype=np.int64
         )
         self._trainer = BatchedRoundTrainer(
-            self.benign_clients, config, self.privacy, train.num_items
+            self.benign_clients,
+            config,
+            self.privacy,
+            train.num_items,
+            round_rng=self._round_sampler_rng,
         )
         self._setup_attack()
 
@@ -238,6 +253,7 @@ class FederatedSimulation:
             full_train=self.train,
             rng=self._seeds.generator("attack"),
             engine=self.config.engine,
+            sampler=self.config.sampler,
         )
         self.attack.setup(context, self.malicious_clients)
 
@@ -298,14 +314,75 @@ class FederatedSimulation:
         )
 
     def _run_epoch(self) -> float:
-        """One pass over all clients in random batches; returns the benign loss."""
+        """One pass over all clients in random batches; returns the benign loss.
+
+        With ``fuse_rounds > 1`` the epoch's batches are scheduled in fusion
+        windows of that size (never crossing the epoch boundary, so every
+        window's client sets are disjoint); otherwise one round at a time.
+        """
         order = self._schedule_rng.permutation(self._all_client_ids)
-        epoch_loss = 0.0
         batch_size = self.config.clients_per_round
-        for start in range(0, order.shape[0], batch_size):
-            batch = order[start : start + batch_size]
-            epoch_loss += self._run_round(batch)
+        batches = [
+            order[start : start + batch_size]
+            for start in range(0, order.shape[0], batch_size)
+        ]
+        epoch_loss = 0.0
+        fuse = self.config.fuse_rounds
+        if fuse > 1 and self.config.engine == "vectorized":
+            for start in range(0, len(batches), fuse):
+                epoch_loss += self._run_fused_rounds(batches[start : start + fuse])
+        else:
+            for batch in batches:
+                epoch_loss += self._run_round(batch)
         return epoch_loss
+
+    def _run_fused_rounds(self, batches: list[np.ndarray]) -> float:
+        """One fusion window: stacked benign training, per-round everything else.
+
+        The window's benign local training is computed in one kernel
+        invocation against the item matrix at the window start
+        (:meth:`BatchedRoundTrainer.train_rounds`); the attacker hook, the
+        crafted malicious uploads, the observer and the server step then run
+        round by round against the *current* parameters, exactly as in the
+        unfused schedule.
+        """
+        benign_ids_per_round = [
+            [int(cid) for cid in batch if int(cid) in self.benign_clients]
+            for batch in batches
+        ]
+        trained = self._trainer.train_rounds(
+            benign_ids_per_round, self.server.item_factors
+        )
+        total_loss = 0.0
+        for batch, (round_updates, round_loss) in zip(batches, trained):
+            round_index = self.server.rounds_applied
+            selected_malicious = [
+                int(cid) for cid in batch if int(cid) in self.malicious_clients
+            ]
+            if self.attack is not None and selected_malicious:
+                self.attack.on_round_start(
+                    round_index,
+                    self.server.item_factors,
+                    self.server.scorer,
+                    selected_malicious,
+                )
+                crafted = [
+                    self.attack.craft_update(
+                        self.malicious_clients[cid],
+                        self.server.item_factors,
+                        self.server.scorer,
+                        round_index,
+                    )
+                    for cid in selected_malicious
+                ]
+                round_updates = round_updates.extended(
+                    u for u in crafted if u is not None
+                )
+            if self.update_observer is not None:
+                self.update_observer(round_index, round_updates.to_client_updates())
+            self.server.apply_round(round_updates)
+            total_loss += round_loss
+        return total_loss
 
     def _run_round(self, batch: np.ndarray) -> float:
         """One aggregation round over the selected ``batch`` of clients."""
@@ -347,14 +424,27 @@ class FederatedSimulation:
         return round_loss
 
     def _run_round_loop(self, batch: np.ndarray, round_index: int) -> float:
-        """Reference round engine: one client at a time (kept for equivalence)."""
+        """Reference round engine: one client at a time (kept for equivalence).
+
+        Under the ``"batched"`` sampler the round's negatives are predrawn
+        through the same shared round stream the vectorized engine consumes
+        (one stacked draw, clients in selection order), so the loop engine
+        remains the equivalence oracle for either sampler.
+        """
+        predrawn: dict[int, tuple[np.ndarray, np.ndarray]] = {}
+        if self.config.sampler == "batched":
+            benign_ids = [int(cid) for cid in batch if int(cid) in self.benign_clients]
+            pairs = self._trainer.draw_round_pairs(benign_ids)
+            predrawn = dict(zip(benign_ids, pairs))
         updates: list[ClientUpdate] = []
         round_loss = 0.0
         for cid in batch:
             cid = int(cid)
             if cid in self.benign_clients:
                 update = self.benign_clients[cid].local_train(
-                    self.server.item_factors, self.server.scorer
+                    self.server.item_factors,
+                    self.server.scorer,
+                    pairs=predrawn.get(cid),
                 )
                 round_loss += update.loss
                 update = self.privacy.apply(update)

@@ -11,6 +11,7 @@ import numpy as np
 import pytest
 
 from repro.cli import build_parser, main
+from repro.exceptions import ConfigurationError
 from repro.experiments.config import ExperimentConfig, ExperimentProfile
 from repro.experiments.figures import figure3_side_effects
 from repro.experiments.runner import run_experiment
@@ -189,3 +190,35 @@ class TestCLI:
     def test_table_choices_validated(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["table", "42"])
+
+    def test_run_command_engine_and_sampler_flags(self, capsys):
+        exit_code = main(
+            [
+                "run",
+                "--dataset", "ml-100k",
+                "--attack", "none",
+                "--scale", "0.05",
+                "--epochs", "2",
+                "--factors", "8",
+                "--clients-per-round", "32",
+                "--engine", "vectorized",
+                "--sampler", "batched",
+                "--fuse-rounds", "2",
+            ]
+        )
+        assert exit_code == 0
+        assert "HR@10" in capsys.readouterr().out
+
+    @pytest.mark.parametrize(
+        "flags",
+        (
+            ["--engine", "warp"],
+            ["--sampler", "alias"],
+            ["--fuse-rounds", "0"],
+            # The *pair* is validated: fusion requires the vectorized engine.
+            ["--engine", "loop", "--fuse-rounds", "2"],
+        ),
+    )
+    def test_invalid_engine_sampler_pairs_rejected(self, flags):
+        with pytest.raises(ConfigurationError):
+            main(["run", "--dataset", "ml-100k", "--attack", "none", *flags])

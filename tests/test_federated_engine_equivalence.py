@@ -1,9 +1,14 @@
 """Loop-vs-vectorized round engine equivalence.
 
-Both engines draw every client's training pairs through the same per-client
-random streams, so from identical master seeds they must produce matching
-training histories, metrics and final parameters — differing at most by
-floating-point summation order.
+Both engines draw every client's training pairs through the same sampler
+streams — per-client streams under ``sampler="permutation"``, one shared
+round-level stream under ``sampler="batched"`` — so from identical master
+seeds they must produce matching training histories, metrics and final
+parameters, differing at most by floating-point summation order.  The suite
+therefore pins *two* training realizations per scenario (one per sampler),
+and additionally checks that the two samplers genuinely differ (a batched
+draw silently falling back to the permutation stream would erase the
+documented RNG-contract distinction).
 """
 
 from __future__ import annotations
@@ -22,9 +27,22 @@ LOSS_RTOL = 1e-9
 FACTOR_ATOL = 1e-12
 
 
-def _run(small_split, small_targets, engine, attack=None, num_malicious=0, **config_kwargs):
+def _run(
+    small_split,
+    small_targets,
+    engine,
+    attack=None,
+    num_malicious=0,
+    sampler="permutation",
+    **config_kwargs,
+):
     defaults = dict(
-        num_factors=8, learning_rate=0.05, clients_per_round=32, num_epochs=4, engine=engine
+        num_factors=8,
+        learning_rate=0.05,
+        clients_per_round=32,
+        num_epochs=4,
+        engine=engine,
+        sampler=sampler,
     )
     defaults.update(config_kwargs)
     simulation = FederatedSimulation(
@@ -58,14 +76,19 @@ def _assert_equivalent(result_a, result_b):
         assert result_a.exposure.er_at_10 == pytest.approx(result_b.exposure.er_at_10, abs=0.02)
 
 
+SAMPLERS = ("permutation", "batched")
+
+
 class TestEngineEquivalence:
-    def test_mf_path(self, small_split, small_targets):
-        result_loop, _ = _run(small_split, small_targets, "loop")
-        result_vec, _ = _run(small_split, small_targets, "vectorized")
+    @pytest.mark.parametrize("sampler", SAMPLERS)
+    def test_mf_path(self, small_split, small_targets, sampler):
+        result_loop, _ = _run(small_split, small_targets, "loop", sampler=sampler)
+        result_vec, _ = _run(small_split, small_targets, "vectorized", sampler=sampler)
         _assert_equivalent(result_loop, result_vec)
 
-    def test_mlp_scorer_path(self, small_split, small_targets):
-        kwargs = dict(use_learnable_scorer=True, scorer_hidden_units=8)
+    @pytest.mark.parametrize("sampler", SAMPLERS)
+    def test_mlp_scorer_path(self, small_split, small_targets, sampler):
+        kwargs = dict(use_learnable_scorer=True, scorer_hidden_units=8, sampler=sampler)
         result_loop, sim_loop = _run(small_split, small_targets, "loop", **kwargs)
         result_vec, sim_vec = _run(small_split, small_targets, "vectorized", **kwargs)
         _assert_equivalent(result_loop, result_vec)
@@ -75,18 +98,35 @@ class TestEngineEquivalence:
             atol=FACTOR_ATOL,
         )
 
-    def test_l2_regularised_path(self, small_split, small_targets):
-        result_loop, _ = _run(small_split, small_targets, "loop", l2_reg=0.01)
-        result_vec, _ = _run(small_split, small_targets, "vectorized", l2_reg=0.01)
+    @pytest.mark.parametrize("sampler", SAMPLERS)
+    def test_l2_regularised_path(self, small_split, small_targets, sampler):
+        result_loop, _ = _run(small_split, small_targets, "loop", l2_reg=0.01, sampler=sampler)
+        result_vec, _ = _run(
+            small_split, small_targets, "vectorized", l2_reg=0.01, sampler=sampler
+        )
         _assert_equivalent(result_loop, result_vec)
 
-    def test_privacy_noise_path(self, small_split, small_targets):
+    @pytest.mark.parametrize("sampler", SAMPLERS)
+    def test_privacy_noise_path(self, small_split, small_targets, sampler):
         # Noise is drawn per client in upload order by both engines, so even
         # the noisy trajectories must coincide.
-        kwargs = dict(noise_scale=0.1, clip_benign_gradients=True)
+        kwargs = dict(noise_scale=0.1, clip_benign_gradients=True, sampler=sampler)
         result_loop, _ = _run(small_split, small_targets, "loop", **kwargs)
         result_vec, _ = _run(small_split, small_targets, "vectorized", **kwargs)
         _assert_equivalent(result_loop, result_vec)
+
+    def test_sampler_realizations_differ(self, small_split, small_targets):
+        # The two samplers are both exact uniform draws but consume different
+        # RNG streams: the trained parameters must not coincide (they would if
+        # the batched engine quietly fell back to per-client permutation
+        # draws, which would defeat its documented contract).
+        result_perm, _ = _run(small_split, small_targets, "vectorized")
+        result_batched, _ = _run(
+            small_split, small_targets, "vectorized", sampler="batched"
+        )
+        assert not np.allclose(
+            result_perm.item_factors, result_batched.item_factors, atol=1e-9
+        )
 
     def test_under_attack(self, small_split, small_targets):
         result_loop, _ = _run(
@@ -102,11 +142,13 @@ class TestEngineEquivalence:
         _assert_equivalent(result_loop, result_vec)
         assert result_loop.final_er_at_5 == pytest.approx(result_vec.final_er_at_5, abs=0.02)
 
-    def test_under_fedrecattack(self, small_split, small_public, small_targets):
+    @pytest.mark.parametrize("sampler", SAMPLERS)
+    def test_under_fedrecattack(self, small_split, small_public, small_targets, sampler):
         # The full attacker pipeline switches with the engine: the loop run
         # uses the per-user approximation and attack-loss reference, the
         # vectorized run the stacked implementations.  Both consume identical
-        # random streams, so the histories must still coincide.
+        # random streams per sampler — including the approximation's negative
+        # draws — so the histories must still coincide.
         def make_attack():
             return FedRecAttack(
                 small_public,
@@ -116,10 +158,20 @@ class TestEngineEquivalence:
             )
 
         result_loop, sim_loop = _run(
-            small_split, small_targets, "loop", attack=make_attack(), num_malicious=4
+            small_split,
+            small_targets,
+            "loop",
+            attack=make_attack(),
+            num_malicious=4,
+            sampler=sampler,
         )
         result_vec, sim_vec = _run(
-            small_split, small_targets, "vectorized", attack=make_attack(), num_malicious=4
+            small_split,
+            small_targets,
+            "vectorized",
+            attack=make_attack(),
+            num_malicious=4,
+            sampler=sampler,
         )
         _assert_equivalent(result_loop, result_vec)
         assert result_loop.final_er_at_5 == pytest.approx(result_vec.final_er_at_5, abs=0.02)
@@ -127,12 +179,23 @@ class TestEngineEquivalence:
             sim_vec.attack.last_attack_loss, rel=1e-6, abs=1e-9
         )
 
-    def test_under_pipattack(self, small_split, small_targets):
+    @pytest.mark.parametrize("sampler", SAMPLERS)
+    def test_under_pipattack(self, small_split, small_targets, sampler):
         result_loop, _ = _run(
-            small_split, small_targets, "loop", attack=PipAttack(), num_malicious=4
+            small_split,
+            small_targets,
+            "loop",
+            attack=PipAttack(),
+            num_malicious=4,
+            sampler=sampler,
         )
         result_vec, _ = _run(
-            small_split, small_targets, "vectorized", attack=PipAttack(), num_malicious=4
+            small_split,
+            small_targets,
+            "vectorized",
+            attack=PipAttack(),
+            num_malicious=4,
+            sampler=sampler,
         )
         _assert_equivalent(result_loop, result_vec)
 

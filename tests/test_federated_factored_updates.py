@@ -15,7 +15,6 @@ import pytest
 from repro.exceptions import FederationError
 from repro.federated.aggregation import make_aggregator
 from repro.federated.config import FederatedConfig
-from repro.federated.engine import BatchedRoundTrainer
 from repro.federated.privacy import GaussianNoiseMechanism
 from repro.federated.simulation import FederatedSimulation
 from repro.federated.updates import (

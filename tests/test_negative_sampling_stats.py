@@ -1,0 +1,159 @@
+"""Statistical and contract tests for the two negative-sampling engines.
+
+Both engines claim the same distribution — an exact uniform draw without
+replacement from the complement of the user's positives — while consuming
+different RNG streams.  These tests check the distributional claim
+(chi-square uniformity over the item catalog), the hard constraints
+(positives never sampled, no duplicates, counts capped at the complement
+size), and fixed-seed reproducibility, parametrized over both engines and
+over empty / sparse / dense user histories.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from scipy import stats
+
+from repro.data.dataset import InteractionDataset
+from repro.data.negative_sampling import (
+    SAMPLER_ENGINES,
+    NegativeSampler,
+    sample_uniform_negatives,
+    sample_uniform_negatives_batched,
+)
+from repro.exceptions import DataError
+
+NUM_ITEMS = 60
+
+#: Named user histories the constraint tests sweep over.
+HISTORIES: dict[str, np.ndarray] = {
+    "empty": np.empty(0, dtype=np.int64),
+    "sparse": np.array([3, 17, 41], dtype=np.int64),
+    "dense": np.arange(NUM_ITEMS - 2, dtype=np.int64),  # only 2 free items
+}
+
+
+def _mask(positives: np.ndarray, num_items: int = NUM_ITEMS) -> np.ndarray:
+    mask = np.zeros(num_items, dtype=bool)
+    mask[positives] = True
+    return mask
+
+
+def _draw(engine: str, rng: np.random.Generator, count: int, positives: np.ndarray) -> np.ndarray:
+    """One draw of ``count`` negatives through the named engine."""
+    if engine == "permutation":
+        return sample_uniform_negatives(rng, NUM_ITEMS, count, _mask(positives))
+    values, offsets = sample_uniform_negatives_batched(
+        rng, NUM_ITEMS, np.array([count], dtype=np.int64), _mask(positives)[None, :]
+    )
+    assert offsets.shape == (2,)
+    return values
+
+
+@pytest.mark.parametrize("engine", SAMPLER_ENGINES)
+@pytest.mark.parametrize("history", sorted(HISTORIES))
+class TestSamplerConstraints:
+    def test_positives_never_sampled(self, engine, history):
+        positives = HISTORIES[history]
+        rng = np.random.default_rng(3)
+        for _ in range(50):
+            negatives = _draw(engine, rng, 5, positives)
+            assert not np.isin(negatives, positives).any()
+
+    def test_no_duplicates_and_capped_counts(self, engine, history):
+        positives = HISTORIES[history]
+        free = NUM_ITEMS - positives.shape[0]
+        negatives = _draw(engine, np.random.default_rng(4), NUM_ITEMS, positives)
+        assert np.unique(negatives).shape[0] == negatives.shape[0]
+        assert negatives.shape[0] == free
+
+    def test_fixed_seed_reproducibility(self, engine, history):
+        positives = HISTORIES[history]
+        first = _draw(engine, np.random.default_rng(5), 7, positives)
+        second = _draw(engine, np.random.default_rng(5), 7, positives)
+        np.testing.assert_array_equal(first, second)
+
+
+@pytest.mark.parametrize("engine", SAMPLER_ENGINES)
+def test_chi_square_uniform_over_catalog(engine):
+    """Sampled negatives are uniform over the non-positive catalog.
+
+    2000 draws of 4 negatives each over 50 free items gives an expected count
+    of 160 per item; the chi-square test must not reject uniformity at a
+    significance level far below any plausible implementation bug.
+    """
+    positives = np.array([0, 7, 13, 21, 30, 44, 50, 55, 58, 59], dtype=np.int64)
+    rng = np.random.default_rng(6)
+    counts = np.zeros(NUM_ITEMS, dtype=np.int64)
+    for _ in range(2000):
+        counts[_draw(engine, rng, 4, positives)] += 1
+    assert counts[positives].sum() == 0
+    free = np.setdiff1d(np.arange(NUM_ITEMS), positives)
+    _, p_value = stats.chisquare(counts[free])
+    assert p_value > 1e-3, f"uniformity rejected (p={p_value:.2e})"
+
+
+@pytest.mark.parametrize("engine", SAMPLER_ENGINES)
+def test_engines_share_distribution_statistics(engine):
+    """Per-user means of the sampled item ids match the complement's mean."""
+    positives = HISTORIES["sparse"]
+    free = np.setdiff1d(np.arange(NUM_ITEMS), positives)
+    rng = np.random.default_rng(8)
+    means = [float(_draw(engine, rng, 10, positives).mean()) for _ in range(500)]
+    assert abs(np.mean(means) - free.mean()) < 1.0
+
+
+class TestBatchedSpecifics:
+    def test_batched_draws_whole_batch(self):
+        rng = np.random.default_rng(9)
+        masks = np.stack([_mask(h) for h in HISTORIES.values()])
+        counts = np.array([4, NUM_ITEMS, 10], dtype=np.int64)
+        values, offsets = sample_uniform_negatives_batched(rng, NUM_ITEMS, counts, masks)
+        assert offsets.shape == (4,)
+        for row, positives in enumerate(HISTORIES.values()):
+            segment = values[offsets[row] : offsets[row + 1]]
+            expected = min(int(counts[row]), NUM_ITEMS - positives.shape[0])
+            assert segment.shape[0] == expected
+            assert not np.isin(segment, positives).any()
+            assert np.unique(segment).shape[0] == segment.shape[0]
+
+    def test_batched_rejects_bad_shapes(self):
+        rng = np.random.default_rng(10)
+        with pytest.raises(DataError):
+            sample_uniform_negatives_batched(
+                rng, NUM_ITEMS, np.array([1, 2]), np.zeros((1, NUM_ITEMS), dtype=bool)
+            )
+        with pytest.raises(DataError):
+            sample_uniform_negatives_batched(
+                rng, NUM_ITEMS, np.array([-1]), np.zeros((1, NUM_ITEMS), dtype=bool)
+            )
+
+    def test_batched_masks_not_mutated(self):
+        rng = np.random.default_rng(11)
+        masks = np.stack([_mask(HISTORIES["sparse"])])
+        snapshot = masks.copy()
+        sample_uniform_negatives_batched(rng, NUM_ITEMS, np.array([20]), masks)
+        np.testing.assert_array_equal(masks, snapshot)
+
+
+@pytest.mark.parametrize("engine", SAMPLER_ENGINES)
+def test_negative_sampler_facade(engine, tiny_dataset: InteractionDataset):
+    """The data-layer NegativeSampler honours the engine switch."""
+    sampler = NegativeSampler(tiny_dataset, rng=13, sampler=engine)
+    for user in range(tiny_dataset.num_users):
+        positives = tiny_dataset.positive_items(user)
+        negatives = sampler.sample_for_user(user)
+        assert negatives.shape[0] == positives.shape[0]
+        assert not np.isin(negatives, positives).any()
+    # Same seed, same call sequence -> same draws.
+    repeat = NegativeSampler(tiny_dataset, rng=13, sampler=engine)
+    np.testing.assert_array_equal(
+        NegativeSampler(tiny_dataset, rng=13, sampler=engine).sample_for_user(0),
+        repeat.sample_for_user(0),
+    )
+
+
+def test_negative_sampler_rejects_unknown_engine(tiny_dataset):
+    with pytest.raises(DataError):
+        NegativeSampler(tiny_dataset, sampler="magic")
