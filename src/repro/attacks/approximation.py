@@ -109,21 +109,28 @@ class UserMatrixApproximator:
         self._active_users = public.users_with_public_interactions()
         self._num_items = public.dataset.num_items
         # The public set is static, so each active user's positives and the
-        # boolean mask the negative sampler consumes are cached once; both
-        # engines share the cache, and it changes neither RNG stream nor
-        # numerics — only the per-call mask rebuild goes away.  The cached
-        # arrays are private copies frozen read-only: the masks are derived
-        # from them, so a mutation through :attr:`active_public_items` would
-        # silently desynchronize the two caches.
-        positives_list = []
-        for user in self._active_users:
-            positives = public.positive_items(int(user)).copy()
-            positives.setflags(write=False)
-            positives_list.append(positives)
-        self._positives: tuple[np.ndarray, ...] = tuple(positives_list)
-        self._positive_masks = np.zeros((self._active_users.shape[0], self._num_items), dtype=bool)
+        # boolean mask the negative sampler consumes come from the public
+        # dataset's shared InteractionStore: the per-user positives are
+        # read-only views into its CSR indices, and the stacked masks of the
+        # active users are gathered out of its cached mask matrix once.
+        # Both engines share the cache, and it changes neither RNG stream
+        # nor numerics — only the per-call mask rebuild goes away.  The
+        # arrays are read-only: the masks and positives describe the same
+        # interactions, so a mutation through :attr:`active_public_items`
+        # would silently desynchronize them.
+        store = public.dataset.interaction_store()
+        self._positives: tuple[np.ndarray, ...] = tuple(
+            store.positives(int(user)) for user in self._active_users
+        )
+        # Stacked over the *active* rows only — at realistic xi most users
+        # have no public interactions, so building the store's full dense
+        # mask matrix just to gather a small subset would waste memory.
+        self._positive_masks = np.zeros(
+            (self._active_users.shape[0], self._num_items), dtype=bool
+        )
         for row, positives in enumerate(self._positives):
             self._positive_masks[row, positives] = True
+        self._positive_masks.setflags(write=False)
 
     @property
     def active_users(self) -> np.ndarray:

@@ -98,6 +98,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="negative-sampling engine: 'permutation' (default) or 'batched'",
     )
     run_parser.add_argument(
+        "--eval-engine",
+        default="vectorized",
+        help="evaluation engine: 'vectorized' (default) or 'loop'",
+    )
+    run_parser.add_argument(
         "--fuse-rounds",
         type=int,
         default=1,
@@ -135,6 +140,7 @@ def _command_run(args: argparse.Namespace) -> int:
         clients_per_round=args.clients_per_round,
         engine=args.engine,
         sampler=args.sampler,
+        eval_engine=args.eval_engine,
         fuse_rounds=args.fuse_rounds,
         seed=args.seed,
     )

@@ -30,12 +30,14 @@ from repro.data.presets import (
     scaled_preset,
 )
 from repro.data.public import PublicInteractions, sample_public_interactions
+from repro.data.store import InteractionStore
 from repro.data.splits import TrainTestSplit, leave_one_out_split
 from repro.data.stats import DatasetStatistics, compute_statistics, statistics_table
 from repro.data.synthetic import SyntheticConfig, generate_synthetic_dataset
 
 __all__ = [
     "InteractionDataset",
+    "InteractionStore",
     "NegativeSampler",
     "SAMPLER_ENGINES",
     "sample_uniform_negatives",

@@ -67,6 +67,7 @@ class InteractionDataset:
         self._pairs = pairs
         self._user_items: list[np.ndarray] = self._group_by_user(pairs, num_users)
         self._item_popularity = np.bincount(pairs[:, 1], minlength=num_items).astype(np.int64)
+        self._store = None
 
     @staticmethod
     def _group_by_user(pairs: np.ndarray, num_users: int) -> list[np.ndarray]:
@@ -170,6 +171,20 @@ class InteractionDataset:
             (data, (self._pairs[:, 0], self._pairs[:, 1])),
             shape=(self._num_users, self._num_items),
         )
+
+    def interaction_store(self):
+        """The shared :class:`~repro.data.store.InteractionStore` of this dataset.
+
+        Built on first access and cached, so the batched negative sampler,
+        the attacker's user-matrix approximation and the evaluation engine
+        all see the same CSR indices and mask rows (the dataset is immutable,
+        which is what makes the cache safe).
+        """
+        if self._store is None:
+            from repro.data.store import InteractionStore  # local import avoids a cycle
+
+            self._store = InteractionStore.from_dataset(self)
+        return self._store
 
     def popular_items(self, top_fraction: float = 0.1) -> np.ndarray:
         """Ids of the most-interacted items (top ``top_fraction`` of items).

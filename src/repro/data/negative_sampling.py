@@ -74,6 +74,8 @@ def sample_uniform_negatives_batched(
     num_items: int,
     counts: np.ndarray,
     positive_masks: np.ndarray,
+    *,
+    copy: bool = True,
 ) -> tuple[np.ndarray, np.ndarray]:
     """Draw distinct uniform negatives for ``B`` users in one stacked pass.
 
@@ -88,7 +90,14 @@ def sample_uniform_negatives_batched(
         Requested negatives per user, shape ``(B,)``.  Automatically capped at
         each user's complement size ``N - |positives|``.
     positive_masks:
-        Stacked boolean positive masks, shape ``(B, N)``.  Not modified.
+        Stacked boolean positive masks, shape ``(B, N)``.  Not modified when
+        ``copy=True`` (the default).
+    copy:
+        ``False`` lets the sampler use ``positive_masks`` as its scratch
+        "taken" bitmap instead of copying it.  Only pass ``False`` for a
+        private array the caller relinquishes — e.g. the fresh gather
+        returned by :meth:`repro.data.store.InteractionStore.mask_rows` —
+        since the rows are mutated in place.
 
     Returns
     -------
@@ -123,7 +132,7 @@ def sample_uniform_negatives_batched(
 
     # ``taken`` marks everything a candidate must avoid: the user's positives
     # plus its already-accepted negatives from earlier rejection rounds.
-    taken = positive_masks.copy()
+    taken = positive_masks.copy() if copy else positive_masks
     filled = np.zeros(num_users, dtype=np.int64)
     remaining = counts.copy()
     pending = np.flatnonzero(remaining > 0)

@@ -55,6 +55,7 @@ class ExperimentConfig:
     aggregator_options: dict = field(default_factory=dict)
     engine: str = "vectorized"
     sampler: str = "permutation"
+    eval_engine: str = "vectorized"
     fuse_rounds: int = 1
     evaluate_every: int | None = None
     eval_num_negatives: int | None = 99
@@ -95,6 +96,7 @@ class ExperimentConfig:
             aggregator_options=dict(self.aggregator_options),
             engine=self.engine,
             sampler=self.sampler,
+            eval_engine=self.eval_engine,
             fuse_rounds=self.fuse_rounds,
         )
 

@@ -165,14 +165,26 @@ class BenignClient(Client):
         l2_reg: float = 0.0,
         resample_negatives: bool = True,
         rng: np.random.Generator | int | None = None,
+        positive_mask: np.ndarray | None = None,
     ) -> None:
         super().__init__(
             client_id, num_items, num_factors, learning_rate, init_scale, l2_reg, rng
         )
         self.positives = np.asarray(positives, dtype=np.int64)
         self.resample_negatives = bool(resample_negatives)
-        self._positive_mask = np.zeros(self.num_items, dtype=bool)
-        self._positive_mask[self.positives] = True
+        if positive_mask is None:
+            self._positive_mask = np.zeros(self.num_items, dtype=bool)
+            self._positive_mask[self.positives] = True
+        else:
+            # Typically a read-only row view of the dataset's shared
+            # InteractionStore — no per-client mask allocation.  The client
+            # only ever reads it.
+            if positive_mask.shape != (self.num_items,):
+                raise FederationError(
+                    f"positive_mask must have shape ({self.num_items},), "
+                    f"got {positive_mask.shape}"
+                )
+            self._positive_mask = positive_mask
         self._negatives = self._sample_negatives(
             self.positives, self.positives.shape[0], self._positive_mask
         )

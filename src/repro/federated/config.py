@@ -71,6 +71,16 @@ class FederatedConfig:
         works with either sampler: the loop engine under the batched sampler
         consumes the same round-level stream, so loop/vectorized equivalence
         holds per sampler.
+    eval_engine:
+        Which evaluation engine computes the HR/NDCG/ER metrics at each
+        evaluation epoch: ``"vectorized"`` (default) scores user blocks as
+        stacked matrix products and computes all five metrics in one pass
+        over the shared :class:`~repro.data.store.InteractionStore`;
+        ``"loop"`` is the per-user reference implementation.  Both engines
+        read identical score blocks and consume the evaluation RNG stream
+        identically, so full-rank metrics are bit-identical and
+        sampled-protocol metrics match under the same seed — this switch
+        trades nothing but time.
     fuse_rounds:
         Cross-round fusion window of the vectorized MF engine.  ``1``
         (default) computes each round exactly against the freshest item
@@ -101,6 +111,7 @@ class FederatedConfig:
     scorer_hidden_units: int = 32
     engine: str = "vectorized"
     sampler: str = "permutation"
+    eval_engine: str = "vectorized"
     fuse_rounds: int = 1
 
     def validate(self) -> None:
@@ -130,6 +141,10 @@ class FederatedConfig:
         if self.sampler not in ("permutation", "batched"):
             raise ConfigurationError(
                 f"sampler must be 'permutation' or 'batched', got {self.sampler!r}"
+            )
+        if self.eval_engine not in ("loop", "vectorized"):
+            raise ConfigurationError(
+                f"eval_engine must be 'loop' or 'vectorized', got {self.eval_engine!r}"
             )
         if self.fuse_rounds < 1:
             raise ConfigurationError("fuse_rounds must be at least 1")

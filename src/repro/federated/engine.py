@@ -73,6 +73,13 @@ class BatchedRoundTrainer:
         The shared round-sampler stream consumed by the ``"batched"``
         sampler (one stacked draw per round, in client selection order).
         Required when ``config.sampler == "batched"``.
+    store:
+        The dataset's shared :class:`~repro.data.store.InteractionStore`.
+        When given, the batched sampler gathers its stacked positive masks
+        straight out of the store's cached mask matrix (one fancy-index
+        gather it may scribble on) instead of re-stacking per-client mask
+        arrays every round.  Client ids must equal dataset user ids, which
+        is how the simulation builds its benign registry.
     """
 
     def __init__(
@@ -82,6 +89,7 @@ class BatchedRoundTrainer:
         privacy: GaussianNoiseMechanism,
         num_items: int,
         round_rng: np.random.Generator | None = None,
+        store=None,
     ) -> None:
         if config.sampler == "batched" and round_rng is None:
             raise FederationError("the batched sampler requires a round_rng stream")
@@ -90,6 +98,7 @@ class BatchedRoundTrainer:
         self._privacy = privacy
         self._num_items = int(num_items)
         self._round_rng = round_rng
+        self._store = store
 
     # ------------------------------------------------------------------ #
     # Pair drawing (shared by the loop and vectorized engines)
@@ -112,12 +121,20 @@ class BatchedRoundTrainer:
         pairs: list[Pairs | None] = [None] * len(clients)
         fresh = [i for i, client in enumerate(clients) if client.needs_fresh_negatives]
         if fresh:
-            masks = np.stack([clients[i].positive_mask for i in fresh])
             counts = np.array(
                 [clients[i].positives.shape[0] for i in fresh], dtype=np.int64
             )
+            if self._store is not None:
+                # One gather out of the persistent mask matrix.
+                masks = self._store.mask_rows(
+                    np.array([benign_ids[i] for i in fresh], dtype=np.int64)
+                )
+            else:
+                masks = np.stack([clients[i].positive_mask for i in fresh])
+            # Either way ``masks`` is a fresh private array, so the sampler
+            # may use it as its scratch bitmap instead of copying again.
             negatives, offsets = sample_uniform_negatives_batched(
-                self._round_rng, self._num_items, counts, masks
+                self._round_rng, self._num_items, counts, masks, copy=False
             )
             for row, i in enumerate(fresh):
                 pairs[i] = clients[i].accept_negatives(

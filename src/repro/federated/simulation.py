@@ -46,8 +46,9 @@ from repro.federated.history import EpochRecord, TrainingHistory
 from repro.federated.privacy import GaussianNoiseMechanism
 from repro.federated.server import Server
 from repro.federated.updates import ClientUpdate
-from repro.metrics.accuracy import AccuracyReport, evaluate_accuracy
-from repro.metrics.exposure import ExposureReport, evaluate_exposure
+from repro.metrics.accuracy import AccuracyReport
+from repro.metrics.evaluation import evaluate_snapshot
+from repro.metrics.exposure import ExposureReport
 from repro.rng import SeedSequenceFactory
 
 if TYPE_CHECKING:  # pragma: no cover - import for type checkers only
@@ -171,6 +172,9 @@ class FederatedSimulation:
         # runs stay bit-identical to releases that predate it.
         self._round_sampler_rng = self._seeds.generator("round-sampler")
 
+        # One InteractionStore per dataset, shared by the batched round
+        # sampler, the clients' positive masks and the evaluation engine.
+        self._store = train.interaction_store()
         self.server = Server(train.num_items, config, rng=self._seeds.generator("server"))
         self.privacy = GaussianNoiseMechanism(
             noise_scale=config.noise_scale,
@@ -189,6 +193,7 @@ class FederatedSimulation:
             self.privacy,
             train.num_items,
             round_rng=self._round_sampler_rng,
+            store=self._store,
         )
         self._setup_attack()
 
@@ -215,6 +220,7 @@ class FederatedSimulation:
                 l2_reg=self.config.l2_reg,
                 resample_negatives=self.config.resample_negatives_each_epoch,
                 rng=int(seeds[user]),
+                positive_mask=self._store.mask_row(user),
             )
         return clients
 
@@ -294,8 +300,7 @@ class FederatedSimulation:
         for epoch in range(1, epochs + 1):
             epoch_loss = self._run_epoch()
             should_evaluate = epoch % evaluate_every == 0 or epoch == epochs
-            accuracy = self._evaluate_accuracy() if should_evaluate else None
-            exposure = self._evaluate_exposure() if should_evaluate else None
+            accuracy, exposure = self._evaluate() if should_evaluate else (None, None)
             history.append(
                 EpochRecord(
                     epoch=epoch,
@@ -474,6 +479,21 @@ class FederatedSimulation:
             [self.benign_clients[user].user_vector for user in range(self.train.num_users)]
         )
 
+    def score_block_function(self) -> Callable[[np.ndarray], np.ndarray]:
+        """Return a function scoring a block of benign users in one shot.
+
+        This is the scoring primitive of the evaluation engines: it maps an
+        array of user ids to their stacked ``(B, num_items)`` score matrix —
+        one ``U_block @ V.T`` product on the MF path, the broadcast scorer
+        block on the learnable-interaction path.
+        """
+        item_factors = self.server.item_factors
+        scorer = self.server.scorer
+        user_factors = self.gather_user_factors()
+        if scorer is None:
+            return lambda users: user_factors[users] @ item_factors.T
+        return lambda users: scorer.score_block(user_factors[users], item_factors)
+
     def score_function(self) -> Callable[[int], np.ndarray]:
         """Return a function mapping a benign user id to its full score vector."""
         item_factors = self.server.item_factors
@@ -490,19 +510,24 @@ class FederatedSimulation:
 
         return score
 
-    def _evaluate_accuracy(self) -> AccuracyReport | None:
-        if self.test_items is None:
-            return None
-        return evaluate_accuracy(
-            self.score_function(),
+    def _evaluate(self) -> tuple[AccuracyReport | None, ExposureReport | None]:
+        """One evaluation epoch through the configured ``eval_engine``.
+
+        Both engines score through :meth:`score_block_function` over the same
+        block partitioning and draw sampled-protocol negatives through the
+        same evaluation stream, so switching the engine changes the wall
+        clock, not the history.
+        """
+        if self.test_items is None and self.target_items is None:
+            return None, None
+        result = evaluate_snapshot(
+            self.score_block_function(),
             self.train,
-            self.test_items,
+            test_items=self.test_items,
+            target_items=self.target_items,
             k=10,
             num_negatives=self.eval_num_negatives,
             rng=self._eval_rng,
+            engine=self.config.eval_engine,
         )
-
-    def _evaluate_exposure(self) -> ExposureReport | None:
-        if self.target_items is None:
-            return None
-        return evaluate_exposure(self.score_function(), self.train, self.target_items)
+        return result.accuracy, result.exposure

@@ -9,9 +9,16 @@ utilities.
 
 from repro.metrics.accuracy import (
     AccuracyReport,
+    draw_ranking_negatives,
     hit_ratio_at_k,
     ndcg_at_k_leave_one_out,
     evaluate_accuracy,
+)
+from repro.metrics.evaluation import (
+    DEFAULT_BLOCK_SIZE,
+    EVAL_ENGINES,
+    EvaluationResult,
+    evaluate_snapshot,
 )
 from repro.metrics.exposure import (
     ExposureReport,
@@ -19,17 +26,23 @@ from repro.metrics.exposure import (
     target_ndcg_at_k,
     evaluate_exposure,
 )
-from repro.metrics.ranking import rank_of_items, top_k_items
+from repro.metrics.ranking import cumulative_discounts, rank_of_items, top_k_items
 
 __all__ = [
     "AccuracyReport",
     "ExposureReport",
+    "EvaluationResult",
+    "EVAL_ENGINES",
+    "DEFAULT_BLOCK_SIZE",
+    "evaluate_snapshot",
     "exposure_ratio_at_k",
     "target_ndcg_at_k",
     "evaluate_exposure",
     "hit_ratio_at_k",
     "ndcg_at_k_leave_one_out",
     "evaluate_accuracy",
+    "draw_ranking_negatives",
     "rank_of_items",
     "top_k_items",
+    "cumulative_discounts",
 ]

@@ -5,6 +5,13 @@ stealthy attack must leave the hit ratio of held-out test items essentially
 unchanged.  Both a full-ranking protocol and the common sampled protocol
 (rank the test item against ``num_negatives`` sampled negatives, as in the
 NCF paper the authors follow) are supported.
+
+This module is the *loop* evaluation engine: one user at a time through a
+``score_fn(user)`` callback.  It is kept as the equivalence oracle for the
+vectorized engine in :mod:`repro.metrics.evaluation`, which must reproduce
+its full-rank metrics bit-identically and its sampled-protocol metrics under
+the identical RNG stream (both engines draw negatives through
+:func:`draw_ranking_negatives`).
 """
 
 from __future__ import annotations
@@ -15,10 +22,17 @@ from typing import Callable
 import numpy as np
 
 from repro.data.dataset import InteractionDataset
+from repro.data.store import InteractionStore
 from repro.exceptions import ModelError
 from repro.rng import ensure_rng
 
-__all__ = ["AccuracyReport", "hit_ratio_at_k", "ndcg_at_k_leave_one_out", "evaluate_accuracy"]
+__all__ = [
+    "AccuracyReport",
+    "hit_ratio_at_k",
+    "ndcg_at_k_leave_one_out",
+    "evaluate_accuracy",
+    "draw_ranking_negatives",
+]
 
 ScoreFunction = Callable[[int], np.ndarray]
 
@@ -79,6 +93,19 @@ def evaluate_accuracy(
     )
 
 
+def _validate_test_items(test_items: np.ndarray, num_users: int, k: int) -> np.ndarray:
+    """Shared validation of the per-user held-out item column."""
+    if k <= 0:
+        raise ModelError(f"k must be positive, got {k}")
+    test_items = np.asarray(test_items, dtype=np.int64)
+    if test_items.shape[0] != num_users:
+        raise ModelError(
+            "test_items must have one entry per user "
+            f"({num_users}), got {test_items.shape[0]}"
+        )
+    return test_items
+
+
 def _ranking_pass(
     score_fn: ScoreFunction,
     train: InteractionDataset,
@@ -87,34 +114,37 @@ def _ranking_pass(
     num_negatives: int | None,
     rng: np.random.Generator | int | None,
 ) -> tuple[float, float, int]:
-    """Shared evaluation loop returning (hit count, NDCG sum, user count)."""
-    if k <= 0:
-        raise ModelError(f"k must be positive, got {k}")
-    test_items = np.asarray(test_items, dtype=np.int64)
-    if test_items.shape[0] != train.num_users:
-        raise ModelError(
-            "test_items must have one entry per user "
-            f"({train.num_users}), got {test_items.shape[0]}"
-        )
+    """Shared evaluation loop returning (hit count, NDCG sum, user count).
+
+    The per-user NDCG contributions (0 for misses) are collected into one
+    array and reduced with a single :func:`numpy.sum`, so the vectorized
+    engine — which concatenates the same per-user values block by block —
+    arrives at the bit-identical total.
+    """
+    test_items = _validate_test_items(test_items, train.num_users, k)
+    store = train.interaction_store()
     generator = ensure_rng(rng)
-    hits = 0.0
-    ndcg_sum = 0.0
-    count = 0
+    hits = 0
+    contributions: list[float] = []
     for user in range(train.num_users):
         test_item = int(test_items[user])
         if test_item < 0:
             continue
         scores = score_fn(user)
-        positives = train.positive_items(user)
         if num_negatives is None:
-            rank = _full_rank(scores, test_item, positives)
+            rank = _full_rank(scores, test_item, store.positives(user))
         else:
-            rank = _sampled_rank(scores, test_item, positives, num_negatives, generator, train.num_items)
-        count += 1
+            rank = _sampled_rank(
+                scores, test_item, store, user, num_negatives, generator
+            )
         if rank <= k:
-            hits += 1.0
-            ndcg_sum += 1.0 / np.log2(rank + 1.0)
-    return hits, ndcg_sum, count
+            hits += 1
+            contributions.append(1.0 / float(np.log2(rank + 1.0)))
+        else:
+            contributions.append(0.0)
+    count = len(contributions)
+    ndcg_sum = float(np.sum(np.asarray(contributions, dtype=np.float64)))
+    return float(hits), ndcg_sum, count
 
 
 def _full_rank(scores: np.ndarray, test_item: int, positives: np.ndarray) -> int:
@@ -126,29 +156,51 @@ def _full_rank(scores: np.ndarray, test_item: int, positives: np.ndarray) -> int
     return 1 + int(np.sum(masked > test_score))
 
 
+def draw_ranking_negatives(
+    rng: np.random.Generator,
+    store: InteractionStore,
+    user: int,
+    test_item: int,
+    num_negatives: int,
+) -> np.ndarray:
+    """The sampled protocol's negative draw for one user.
+
+    Candidates are drawn uniformly with replacement and accepted in draw
+    order unless they are a positive of ``user`` or the test item itself;
+    the user's positives come straight from the shared
+    :class:`~repro.data.store.InteractionStore` mask row (a view — no
+    per-user mask array is allocated).  Both evaluation engines call this
+    helper, so they consume the evaluation RNG stream identically: every
+    iteration draws ``2 * remaining`` candidates, and a user whose positives
+    cover the whole catalog consumes exactly one draw before giving up.
+    """
+    mask_row = store.mask_row(user)
+    free = store.num_items - store.degree(user)
+    if not mask_row[test_item]:
+        free -= 1
+    accepted: list[np.ndarray] = []
+    need = num_negatives
+    while need > 0:
+        draws = rng.integers(0, store.num_items, size=2 * need)
+        ok = draws[~mask_row[draws] & (draws != test_item)][:need]
+        accepted.append(ok)
+        need -= ok.shape[0]
+        if free == 0:
+            break
+    if not accepted:
+        return np.empty(0, dtype=np.int64)
+    return np.concatenate(accepted).astype(np.int64, copy=False)
+
+
 def _sampled_rank(
     scores: np.ndarray,
     test_item: int,
-    positives: np.ndarray,
+    store: InteractionStore,
+    user: int,
     num_negatives: int,
     rng: np.random.Generator,
-    num_items: int,
 ) -> int:
     """Rank of the test item against ``num_negatives`` sampled negatives."""
-    positive_mask = np.zeros(num_items, dtype=bool)
-    positive_mask[positives] = True
-    positive_mask[test_item] = True
-    negatives: list[int] = []
-    while len(negatives) < num_negatives:
-        draws = rng.integers(0, num_items, size=2 * (num_negatives - len(negatives)))
-        for item in draws:
-            item = int(item)
-            if not positive_mask[item]:
-                negatives.append(item)
-                if len(negatives) == num_negatives:
-                    break
-        if np.all(positive_mask):
-            break
-    candidate_scores = scores[np.asarray(negatives, dtype=np.int64)] if negatives else np.empty(0)
+    negatives = draw_ranking_negatives(rng, store, user, test_item, num_negatives)
     test_score = scores[test_item]
-    return 1 + int(np.sum(candidate_scores > test_score))
+    return 1 + int(np.sum(scores[negatives] > test_score))

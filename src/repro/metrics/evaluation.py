@@ -1,0 +1,476 @@
+"""Vectorized evaluation engine.
+
+The loop engine (:mod:`repro.metrics.accuracy` / :mod:`repro.metrics.exposure`)
+evaluates one user at a time through a ``score_fn(user)`` callback — four
+Python loops per snapshot before this module existed.  The vectorized engine
+computes HR@K, NDCG@K, ER@5, ER@10 and target-NDCG@10 in **one pass over
+user blocks**:
+
+* a block of users is scored with a single stacked ``U_block @ V.T``-style
+  matrix product through the ``score_block(users)`` callback,
+* positives are masked via contiguous row slices of the shared
+  :class:`~repro.data.store.InteractionStore` mask matrix (views, no copies),
+* top-K membership is decided by comparing each candidate's score against
+  the block's K-th-largest masked score (one ``np.partition`` per block):
+  with the optimistic rank ``r(v) = 1 + #{j : masked_j > s_v}`` used
+  throughout the metrics, ``r(v) <= K``  iff  ``s_v >= kth_largest(masked)``,
+  exactly — ties included — so exact ranks only ever need to be counted for
+  the (typically few) items that actually made a top-K list.
+
+Equivalence contract with the loop engine (``engine="loop"`` here runs it):
+
+* both engines read their scores from the *same* ``score_block`` calls over
+  the *same* block partitioning (the loop path materialises the blocks into
+  a matrix first), so the floats being ranked are identical by construction
+  — BLAS results are not row-stable across different GEMM shapes, so this,
+  not re-computation, is what makes bit-identity possible;
+* full-rank HR/NDCG/ER values are bit-identical: integer rank counts feed
+  per-user contribution values collected in user order and reduced with the
+  same ``np.sum`` / ``np.mean`` calls;
+* the sampled protocol draws every user's negatives through the shared
+  :func:`~repro.metrics.accuracy.draw_ranking_negatives`, in user order, so
+  both engines consume the evaluation RNG stream identically and report
+  identical sampled metrics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.data.dataset import InteractionDataset
+from repro.exceptions import ModelError
+from repro.metrics.accuracy import (
+    AccuracyReport,
+    _validate_test_items,
+    draw_ranking_negatives,
+    evaluate_accuracy,
+)
+from repro.metrics.exposure import ExposureReport, _validate_targets, evaluate_exposure
+from repro.metrics.ranking import cumulative_discounts
+from repro.rng import ensure_rng
+
+__all__ = ["EvaluationResult", "evaluate_snapshot", "EVAL_ENGINES", "DEFAULT_BLOCK_SIZE"]
+
+ScoreBlockFunction = Callable[[np.ndarray], np.ndarray]
+
+#: The valid values of every ``eval_engine`` switch in the package.
+EVAL_ENGINES = ("loop", "vectorized")
+
+#: Default user-block size.  Small enough that a block's score matrix stays
+#: cache-resident through the mask/partition/compare pipeline; both engines
+#: must use the same value for their floats to coincide.
+DEFAULT_BLOCK_SIZE = 128
+
+
+@dataclass(frozen=True)
+class EvaluationResult:
+    """Accuracy and exposure reports of one model snapshot."""
+
+    accuracy: AccuracyReport | None
+    exposure: ExposureReport | None
+
+
+def evaluate_snapshot(
+    score_block: ScoreBlockFunction,
+    train: InteractionDataset,
+    *,
+    test_items: np.ndarray | None = None,
+    target_items: np.ndarray | None = None,
+    k: int = 10,
+    num_negatives: int | None = 99,
+    rng: np.random.Generator | int | None = None,
+    engine: str = "vectorized",
+    block_size: int = DEFAULT_BLOCK_SIZE,
+) -> EvaluationResult:
+    """Evaluate accuracy and/or exposure of one model snapshot.
+
+    Parameters
+    ----------
+    score_block:
+        Maps an array of user ids to their stacked ``(B, num_items)`` score
+        matrix (e.g. :meth:`MatrixFactorizationModel.score_block` over the
+        gathered user vectors).  Both engines obtain every score through
+        this callback, block by block.
+    train:
+        Training interactions; positives are masked out of the rankings and
+        the shared :class:`~repro.data.store.InteractionStore` provides the
+        masks.
+    test_items:
+        Per-user held-out items for HR@k / NDCG@k (``-1`` skips a user);
+        ``None`` disables accuracy evaluation.
+    target_items:
+        Attack targets for ER@5 / ER@10 / target-NDCG@10; ``None`` disables
+        exposure evaluation.
+    k:
+        Accuracy cutoff (the paper reports ``k=10``).
+    num_negatives:
+        Sampled-protocol negatives per user (``None`` ranks against the full
+        catalog).
+    rng:
+        Randomness for the sampled protocol; both engines consume it
+        identically.
+    engine:
+        ``"vectorized"`` (default) or ``"loop"`` — the per-user oracle.
+    block_size:
+        Users per scoring block (both engines share the partitioning).
+    """
+    if engine not in EVAL_ENGINES:
+        raise ModelError(f"engine must be one of {EVAL_ENGINES}, got {engine!r}")
+    if block_size <= 0:
+        raise ModelError(f"block_size must be positive, got {block_size}")
+    if test_items is None and target_items is None:
+        return EvaluationResult(accuracy=None, exposure=None)
+    if engine == "loop":
+        return _evaluate_loop(
+            score_block, train, test_items, target_items, k, num_negatives, rng, block_size
+        )
+    return _evaluate_vectorized(
+        score_block, train, test_items, target_items, k, num_negatives, rng, block_size
+    )
+
+
+def _user_blocks(num_users: int, block_size: int) -> list[tuple[int, int]]:
+    """The canonical block partitioning shared by both engines."""
+    return [
+        (start, min(num_users, start + block_size))
+        for start in range(0, num_users, block_size)
+    ]
+
+
+def _evaluate_loop(
+    score_block: ScoreBlockFunction,
+    train: InteractionDataset,
+    test_items: np.ndarray | None,
+    target_items: np.ndarray | None,
+    k: int,
+    num_negatives: int | None,
+    rng: np.random.Generator | int | None,
+    block_size: int,
+) -> EvaluationResult:
+    """The per-user oracle, fed block-materialised scores.
+
+    Scores are materialised through the same ``score_block`` calls the
+    vectorized engine makes (same block boundaries), then handed to the
+    per-user loop metrics as a row-indexing callback.
+    """
+    scores = np.concatenate(
+        [
+            np.asarray(score_block(np.arange(lo, hi, dtype=np.int64)), dtype=np.float64)
+            for lo, hi in _user_blocks(train.num_users, block_size)
+        ],
+        axis=0,
+    )
+    if scores.shape != (train.num_users, train.num_items):
+        raise ModelError(
+            f"score_block must produce a ({train.num_users}, {train.num_items}) "
+            f"matrix over all users, got {scores.shape}"
+        )
+    score_fn = lambda user: scores[user]  # noqa: E731 - tiny adapter
+    accuracy = (
+        evaluate_accuracy(score_fn, train, test_items, k=k, num_negatives=num_negatives, rng=rng)
+        if test_items is not None
+        else None
+    )
+    exposure = (
+        evaluate_exposure(score_fn, train, target_items)
+        if target_items is not None
+        else None
+    )
+    return EvaluationResult(accuracy=accuracy, exposure=exposure)
+
+
+def _top_k_thresholds(masked: np.ndarray, cutoffs: Sequence[int]) -> dict[int, np.ndarray]:
+    """Per-row ``k``-th largest masked score for every requested cutoff.
+
+    ``cutoffs`` must be sorted descending with every value ``<= N``.  One
+    full-width **in-place** partition at the largest cutoff — ``masked`` is
+    reordered within each row, never copied; smaller cutoffs are derived by
+    partitioning the resulting ``(B, k_max)`` top slice, which is far
+    cheaper than a second full-width partition.  Row reordering is safe for
+    every later consumer because exact rank counts
+    (``#{j : masked_j > v}``) only depend on each row's multiset of values.
+    """
+    num_items = masked.shape[1]
+    thresholds: dict[int, np.ndarray] = {}
+    if not cutoffs:
+        return thresholds
+    k_max = cutoffs[0]
+    masked.partition(num_items - k_max, axis=1)
+    thresholds[k_max] = masked[:, num_items - k_max]
+    top_slice = masked[:, num_items - k_max :]
+    for kk in cutoffs[1:]:
+        thresholds[kk] = np.partition(top_slice, k_max - kk, axis=1)[:, k_max - kk]
+    return thresholds
+
+
+def _membership(
+    scores_at: np.ndarray,
+    thresholds: dict[int, np.ndarray],
+    kk: int,
+    num_items: int,
+    rows: np.ndarray | None = None,
+) -> np.ndarray:
+    """``optimistic_rank <= kk`` for candidate scores, via the threshold rule.
+
+    ``r(v) <= kk``  iff  ``s_v >= kth_largest(masked)`` when ``kk <= N`` (a
+    candidate at least ties the ``kk``-th slot); for ``kk > N`` every rank
+    fits.  Exact for members and non-members of the masked row alike.
+    """
+    if kk > num_items:
+        return np.ones(scores_at.shape, dtype=bool)
+    threshold = thresholds[kk] if rows is None else thresholds[kk][rows]
+    if scores_at.ndim == 2:
+        return scores_at >= threshold[:, None]
+    return scores_at >= threshold
+
+
+def _evaluate_vectorized(
+    score_block: ScoreBlockFunction,
+    train: InteractionDataset,
+    test_items: np.ndarray | None,
+    target_items: np.ndarray | None,
+    k: int,
+    num_negatives: int | None,
+    rng: np.random.Generator | int | None,
+    block_size: int,
+    exposure_ks: tuple[int, int] = (5, 10),
+    exposure_ndcg_k: int = 10,
+) -> EvaluationResult:
+    """Single blocked pass computing every requested metric."""
+    store = train.interaction_store()
+    num_users, num_items = store.num_users, store.num_items
+    generator = ensure_rng(rng)
+    if test_items is not None:
+        test_items = _validate_test_items(test_items, num_users, k)
+    if target_items is not None:
+        target_items = _validate_targets(target_items, num_items)
+    ideal = cumulative_discounts(exposure_ndcg_k)
+
+    threshold_ks: set[int] = set()
+    if test_items is not None and num_negatives is None:
+        threshold_ks.add(k)
+    if target_items is not None:
+        threshold_ks.update(exposure_ks)
+        threshold_ks.add(exposure_ndcg_k)
+    cutoffs = sorted({kk for kk in threshold_ks if kk <= num_items}, reverse=True)
+
+    hits = 0
+    evaluated = 0
+    accuracy_parts: list[np.ndarray] = []
+    er_parts: dict[int, list[np.ndarray]] = {kk: [] for kk in exposure_ks}
+    target_ndcg_parts: list[np.ndarray] = []
+    masks = store.masks
+    indptr, indices = store.indptr, store.indices
+    row_lengths = store.degrees
+
+    for lo, hi in _user_blocks(num_users, block_size):
+        users = np.arange(lo, hi, dtype=np.int64)
+        scores = np.asarray(score_block(users), dtype=np.float64)
+        if scores.shape != (hi - lo, num_items):
+            raise ModelError(
+                f"score_block must produce a ({hi - lo}, {num_items}) matrix, "
+                f"got {scores.shape}"
+            )
+        if scores.base is not None or not scores.flags.writeable:
+            # The engine masks the block in place, so it must own the array;
+            # fresh products (the normal case) pass through without a copy.
+            scores = scores.copy()
+        mask_block = masks[lo:hi]
+
+        # Raw-score gathers happen before masking: the loop oracle reads the
+        # test item's *unmasked* score, and sampled negatives are never
+        # positives, so everything else survives the in-place write.
+        block_tests = test_items[lo:hi] if test_items is not None else None
+        valid = np.flatnonzero(block_tests >= 0) if block_tests is not None else None
+        test_scores = (
+            scores[valid, block_tests[valid]] if block_tests is not None else None
+        )
+
+        # Mask positives to -inf through the store's CSR coordinates — a
+        # sparse scatter (~density * B * N writes), far cheaper than a dense
+        # np.where pass.  ``scores`` is the masked matrix from here on.
+        masked_cols = indices[indptr[lo] : indptr[hi]]
+        masked_rows = np.repeat(
+            np.arange(hi - lo, dtype=np.int64), row_lengths[lo:hi]
+        )
+        scores[masked_rows, masked_cols] = -np.inf
+
+        # Everything that needs score *positions* runs before the in-place
+        # partition reorders the rows: the sampled protocol reads the drawn
+        # negatives' scores, the exposure metrics the targets' columns.
+        if test_items is not None and num_negatives is not None:
+            block_hits, contributions = _accuracy_block_sampled(
+                scores, valid, test_scores, block_tests, lo, k,
+                num_negatives, generator, store,
+            )
+            hits += block_hits
+            evaluated += contributions.shape[0]
+            accuracy_parts.append(contributions)
+        target_scores = scores[:, target_items] if target_items is not None else None
+
+        thresholds = _top_k_thresholds(scores, cutoffs)
+
+        if test_items is not None and num_negatives is None:
+            block_hits, contributions = _accuracy_block_full(
+                scores, valid, test_scores, thresholds, k
+            )
+            hits += block_hits
+            evaluated += contributions.shape[0]
+            accuracy_parts.append(contributions)
+
+        if target_items is not None:
+            _exposure_block(
+                scores, target_scores, mask_block, thresholds, target_items,
+                exposure_ks, exposure_ndcg_k, ideal, er_parts, target_ndcg_parts,
+            )
+
+    accuracy = None
+    if test_items is not None:
+        ndcg_sum = float(np.sum(np.concatenate(accuracy_parts))) if accuracy_parts else 0.0
+        accuracy = AccuracyReport(
+            hr_at_10=float(hits) / evaluated if evaluated else 0.0,
+            ndcg_at_10=ndcg_sum / evaluated if evaluated else 0.0,
+            num_evaluated_users=evaluated,
+        )
+    exposure = None
+    if target_items is not None:
+        er_means = {
+            kk: float(np.mean(np.concatenate(parts))) if parts else 0.0
+            for kk, parts in er_parts.items()
+        }
+        ndcg = (
+            float(np.mean(np.concatenate(target_ndcg_parts))) if target_ndcg_parts else 0.0
+        )
+        exposure = ExposureReport(
+            er_at_5=er_means[exposure_ks[0]],
+            er_at_10=er_means[exposure_ks[1]],
+            ndcg_at_10=ndcg,
+        )
+    return EvaluationResult(accuracy=accuracy, exposure=exposure)
+
+
+def _accuracy_block_full(
+    partitioned: np.ndarray,
+    valid: np.ndarray,
+    test_scores: np.ndarray,
+    thresholds: dict[int, np.ndarray],
+    k: int,
+) -> tuple[int, np.ndarray]:
+    """Full-rank HR/NDCG contributions of one user block.
+
+    ``partitioned`` is the block's masked score matrix after the in-place
+    partition — row-reordered but value-preserving, which is all the exact
+    rank count needs.  ``test_scores`` are the *raw* test-item scores
+    gathered before masking (the loop oracle reads the unmasked score too).
+    Returns the block's hit count and the per-evaluated-user NDCG
+    contributions (0 for misses), in user order — the same values the loop
+    oracle appends one by one.
+    """
+    num_items = partitioned.shape[1]
+    contributions = np.zeros(valid.shape[0], dtype=np.float64)
+    if valid.shape[0] == 0:
+        return 0, contributions
+    hit = _membership(test_scores, thresholds, k, num_items, rows=valid)
+    block_hits = int(np.count_nonzero(hit))
+    for position in np.flatnonzero(hit):
+        rank = 1 + int(
+            np.count_nonzero(partitioned[valid[position]] > test_scores[position])
+        )
+        contributions[position] = 1.0 / float(np.log2(rank + 1.0))
+    return block_hits, contributions
+
+
+def _accuracy_block_sampled(
+    masked: np.ndarray,
+    valid: np.ndarray,
+    test_scores: np.ndarray,
+    block_tests: np.ndarray,
+    block_start: int,
+    k: int,
+    num_negatives: int,
+    generator: np.random.Generator,
+    store,
+) -> tuple[int, np.ndarray]:
+    """Sampled-protocol HR/NDCG contributions of one user block.
+
+    Runs *before* the block's partition: it reads scores at the drawn
+    negatives' positions (never positives, so the in-place masking left
+    them untouched).  Negatives are drawn per user in user order through
+    :func:`draw_ranking_negatives` — the identical RNG consumption of the
+    loop oracle.
+    """
+    contributions = np.zeros(valid.shape[0], dtype=np.float64)
+    block_hits = 0
+    for position in range(valid.shape[0]):
+        user = block_start + int(valid[position])
+        negatives = draw_ranking_negatives(
+            generator, store, user, int(block_tests[valid[position]]), num_negatives
+        )
+        rank = 1 + int(
+            np.sum(masked[valid[position], negatives] > test_scores[position])
+        )
+        if rank <= k:
+            block_hits += 1
+            contributions[position] = 1.0 / float(np.log2(rank + 1.0))
+    return block_hits, contributions
+
+
+def _exposure_block(
+    partitioned: np.ndarray,
+    target_scores: np.ndarray,
+    mask_block: np.ndarray,
+    thresholds: dict[int, np.ndarray],
+    target_items: np.ndarray,
+    exposure_ks: tuple[int, int],
+    exposure_ndcg_k: int,
+    ideal: np.ndarray,
+    er_parts: dict[int, list[np.ndarray]],
+    target_ndcg_parts: list[np.ndarray],
+) -> None:
+    """ER / target-NDCG contributions of one user block (appended in place).
+
+    ``target_scores`` is the ``(B, T)`` gather of the masked target columns
+    taken before the partition (interacted targets read ``-inf``, exactly
+    like the loop oracle's masked row); ``partitioned`` is the row-reordered
+    masked matrix, used only for the value-multiset rank counts.
+    """
+    num_items = partitioned.shape[1]
+    uninteracted = ~mask_block[:, target_items]
+    denominators = uninteracted.sum(axis=1)
+    contributing = np.flatnonzero(denominators > 0)
+    if contributing.shape[0] == 0:
+        return
+    for kk in exposure_ks:
+        member = _membership(target_scores, thresholds, kk, num_items) & uninteracted
+        er_parts[kk].append(
+            member[contributing].sum(axis=1) / denominators[contributing]
+        )
+    in_list = (
+        _membership(target_scores, thresholds, exposure_ndcg_k, num_items) & uninteracted
+    )[contributing]
+    scores_contributing = target_scores[contributing]
+    discounts = np.zeros_like(scores_contributing)
+    pair_rows, pair_cols = np.nonzero(in_list)
+    if pair_rows.shape[0] > 0:
+        # Exact ranks, grouped by row: np.nonzero returns row-major order,
+        # so each row's in-list targets form one slice ranked with a single
+        # broadcast comparison.  Under a successful attack nearly every
+        # (user, target) pair is in-list, and this keeps the work at one
+        # vectorized row pass per user instead of one per pair.
+        ranks = np.empty(pair_rows.shape[0], dtype=np.int64)
+        row_ids, row_starts = np.unique(pair_rows, return_index=True)
+        row_stops = np.append(row_starts[1:], pair_rows.shape[0])
+        for index, local_row in enumerate(row_ids):
+            row = int(contributing[local_row])
+            start, stop = int(row_starts[index]), int(row_stops[index])
+            values = scores_contributing[local_row, pair_cols[start:stop]]
+            ranks[start:stop] = 1 + np.count_nonzero(
+                partitioned[row][None, :] > values[:, None], axis=1
+            )
+        discounts[pair_rows, pair_cols] = 1.0 / np.log2(ranks + 1.0)
+    dcg = discounts.sum(axis=1)
+    idcg = ideal[np.minimum(denominators[contributing], exposure_ndcg_k)]
+    target_ndcg_parts.append(dcg / idcg)

@@ -4,18 +4,32 @@ The exposure ratio at K (Eq. 8) measures, averaged over users, the fraction
 of not-yet-interacted target items that appear in the user's top-K
 recommendation list.  NDCG@K of the target items additionally rewards higher
 ranks, as in the paper's evaluation (Section V-A).
+
+All three metrics (ER@5, ER@10, target NDCG@10) are computed from **one
+scoring pass per user**: each user's score vector is requested once and the
+targets' optimistic ranks (``1 +`` the number of strictly higher-scoring
+non-interacted items, the same rank :func:`~repro.metrics.ranking.rank_of_items`
+assigns) drive every metric.  A target is counted as exposed at ``K`` iff
+its rank is ``<= K`` — equivalent to top-K-list membership except on exact
+score ties, which are resolved in the target's favor (a measure-zero event
+for continuous model scores).  This replaces the former three independent
+passes that re-scored every user per metric.
+
+Like :mod:`repro.metrics.accuracy`, this is the *loop* evaluation engine —
+the equivalence oracle that the vectorized engine in
+:mod:`repro.metrics.evaluation` must match bit-for-bit.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable
+from typing import Callable, Sequence
 
 import numpy as np
 
 from repro.data.dataset import InteractionDataset
 from repro.exceptions import ModelError
-from repro.metrics.ranking import dcg_from_ranks, rank_of_items, top_k_items
+from repro.metrics.ranking import cumulative_discounts
 
 __all__ = ["ExposureReport", "exposure_ratio_at_k", "target_ndcg_at_k", "evaluate_exposure"]
 
@@ -66,22 +80,8 @@ def exposure_ratio_at_k(
     users:
         Users to average over (defaults to every user).
     """
-    target_items = _validate_targets(target_items, train.num_items)
-    user_ids = np.arange(train.num_users) if users is None else np.asarray(users, dtype=np.int64)
-    ratios: list[float] = []
-    target_set = set(int(t) for t in target_items)
-    for user in user_ids:
-        positives = train.positive_items(int(user))
-        uninteracted_targets = [t for t in target_items if not _contains(positives, int(t))]
-        if not uninteracted_targets:
-            continue
-        scores = score_fn(int(user))
-        recommended = top_k_items(scores, k, exclude=positives)
-        hits = sum(1 for item in recommended if int(item) in target_set)
-        ratios.append(hits / len(uninteracted_targets))
-    if not ratios:
-        return 0.0
-    return float(np.mean(ratios))
+    er_means, _ = _exposure_pass(score_fn, train, target_items, (k,), None, users)
+    return er_means[k]
 
 
 def target_ndcg_at_k(
@@ -92,25 +92,8 @@ def target_ndcg_at_k(
     users: np.ndarray | None = None,
 ) -> float:
     """NDCG@k of the target items within users' recommendation lists."""
-    target_items = _validate_targets(target_items, train.num_items)
-    user_ids = np.arange(train.num_users) if users is None else np.asarray(users, dtype=np.int64)
-    ndcgs: list[float] = []
-    for user in user_ids:
-        positives = train.positive_items(int(user))
-        uninteracted_targets = np.array(
-            [t for t in target_items if not _contains(positives, int(t))], dtype=np.int64
-        )
-        if uninteracted_targets.shape[0] == 0:
-            continue
-        scores = score_fn(int(user))
-        ranks = rank_of_items(scores, uninteracted_targets, exclude=positives)
-        dcg = dcg_from_ranks(ranks, k)
-        ideal_count = min(uninteracted_targets.shape[0], k)
-        idcg = float(np.sum(1.0 / np.log2(np.arange(1, ideal_count + 1) + 1.0)))
-        ndcgs.append(dcg / idcg if idcg > 0 else 0.0)
-    if not ndcgs:
-        return 0.0
-    return float(np.mean(ndcgs))
+    _, ndcg = _exposure_pass(score_fn, train, target_items, (), k, users)
+    return ndcg
 
 
 def evaluate_exposure(
@@ -119,12 +102,61 @@ def evaluate_exposure(
     target_items: np.ndarray,
     users: np.ndarray | None = None,
 ) -> ExposureReport:
-    """Compute the paper's three attack metrics in one pass-friendly call."""
-    return ExposureReport(
-        er_at_5=exposure_ratio_at_k(score_fn, train, target_items, 5, users),
-        er_at_10=exposure_ratio_at_k(score_fn, train, target_items, 10, users),
-        ndcg_at_10=target_ndcg_at_k(score_fn, train, target_items, 10, users),
-    )
+    """Compute the paper's three attack metrics in one scoring pass."""
+    er_means, ndcg = _exposure_pass(score_fn, train, target_items, (5, 10), 10, users)
+    return ExposureReport(er_at_5=er_means[5], er_at_10=er_means[10], ndcg_at_10=ndcg)
+
+
+def _exposure_pass(
+    score_fn: ScoreFunction,
+    train: InteractionDataset,
+    target_items: np.ndarray,
+    er_ks: Sequence[int],
+    ndcg_k: int | None,
+    users: np.ndarray | None,
+) -> tuple[dict[int, float], float]:
+    """One per-user loop computing every requested exposure metric at once.
+
+    Per-user values are collected in user order and reduced with
+    :func:`numpy.mean` at the end — the same convention the vectorized
+    engine follows, so equal per-user values yield bit-equal averages.
+    """
+    for k in er_ks:
+        if k <= 0:
+            raise ModelError(f"k must be positive, got {k}")
+    if ndcg_k is not None and ndcg_k <= 0:
+        raise ModelError(f"k must be positive, got {ndcg_k}")
+    target_items = _validate_targets(target_items, train.num_items)
+    store = train.interaction_store()
+    user_ids = np.arange(train.num_users) if users is None else np.asarray(users, dtype=np.int64)
+    er_values: dict[int, list[float]] = {k: [] for k in er_ks}
+    ndcg_values: list[float] = []
+    ideal = cumulative_discounts(ndcg_k) if ndcg_k is not None else None
+    for user in user_ids:
+        mask_row = store.mask_row(int(user))
+        uninteracted = ~mask_row[target_items]
+        denominator = int(np.count_nonzero(uninteracted))
+        if denominator == 0:
+            continue
+        scores = score_fn(int(user))
+        masked = np.where(mask_row, -np.inf, scores)
+        target_scores = masked[target_items]
+        ranks = 1 + np.sum(masked[None, :] > target_scores[:, None], axis=1)
+        for k in er_ks:
+            hits = int(np.count_nonzero((ranks <= k) & uninteracted))
+            er_values[k].append(hits / denominator)
+        if ndcg_k is not None:
+            in_list = (ranks <= ndcg_k) & uninteracted
+            discounts = np.where(in_list, 1.0 / np.log2(ranks + 1.0), 0.0)
+            dcg = float(np.sum(discounts))
+            idcg = float(ideal[min(denominator, ndcg_k)])
+            ndcg_values.append(dcg / idcg if idcg > 0 else 0.0)
+    er_means = {
+        k: float(np.mean(np.asarray(values, dtype=np.float64))) if values else 0.0
+        for k, values in er_values.items()
+    }
+    ndcg = float(np.mean(np.asarray(ndcg_values, dtype=np.float64))) if ndcg_values else 0.0
+    return er_means, ndcg
 
 
 def _validate_targets(target_items: np.ndarray, num_items: int) -> np.ndarray:
@@ -134,8 +166,3 @@ def _validate_targets(target_items: np.ndarray, num_items: int) -> np.ndarray:
     if target_items.min() < 0 or target_items.max() >= num_items:
         raise ModelError("target item id out of range")
     return target_items
-
-
-def _contains(sorted_items: np.ndarray, item: int) -> bool:
-    idx = np.searchsorted(sorted_items, item)
-    return bool(idx < sorted_items.shape[0] and sorted_items[idx] == item)

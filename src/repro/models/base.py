@@ -41,6 +41,18 @@ class Recommender(ABC):
     def score_items(self, user_vector: np.ndarray, items: np.ndarray | None = None) -> np.ndarray:
         """Predicted rating scores of ``items`` (all items if ``None``)."""
 
+    def score_block(self, user_vectors: np.ndarray) -> np.ndarray:
+        """Score a whole block of users against the full catalog at once.
+
+        ``user_vectors`` has shape ``(B, k)`` and the result shape
+        ``(B, num_items)``.  This is the batched counterpart of
+        :meth:`score_items` consumed by the vectorized evaluation engine;
+        subclasses should override it with a stacked implementation (one
+        matrix product for MF) — this generic fallback scores row by row.
+        """
+        user_vectors = np.atleast_2d(np.asarray(user_vectors, dtype=np.float64))
+        return np.stack([self.score_items(vector) for vector in user_vectors])
+
     def recommend(
         self,
         user_vector: np.ndarray,

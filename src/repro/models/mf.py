@@ -80,6 +80,20 @@ class MatrixFactorizationModel(Recommender):
             return self.item_factors @ user_vector
         return self.item_factors[np.asarray(items, dtype=np.int64)] @ user_vector
 
+    def score_block(self, user_vectors: np.ndarray) -> np.ndarray:
+        """Stacked scores ``U_block V^T`` for a ``(B, k)`` block of user vectors.
+
+        One matrix product replaces ``B`` :meth:`score_items` calls; this is
+        the scoring primitive of the vectorized evaluation engine.
+        """
+        user_vectors = np.atleast_2d(np.asarray(user_vectors, dtype=np.float64))
+        if user_vectors.shape[1] != self._num_factors:
+            raise ModelError(
+                f"user_vectors must have shape (B, {self._num_factors}), "
+                f"got {user_vectors.shape}"
+            )
+        return user_vectors @ self.item_factors.T
+
     # ------------------------------------------------------------------ #
     # Convenience accessors
     # ------------------------------------------------------------------ #

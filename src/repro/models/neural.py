@@ -108,6 +108,42 @@ class MLPScorer:
         hidden = self._hidden(user_vectors, item_vectors)
         return hidden @ self.w2 + self.b2
 
+    def score_block(
+        self,
+        user_vectors: np.ndarray,
+        item_vectors: np.ndarray,
+        max_chunk_elements: int = 1 << 21,
+    ) -> np.ndarray:
+        """Scores of every (user, item) combination, shape ``(B, N)``.
+
+        The cross product of a ``(B, k)`` user block with the ``(N, k)`` item
+        matrix — the scorer-path counterpart of
+        :meth:`MatrixFactorizationModel.score_block`.  The first layer is
+        split into its user and item halves (``W1 [u; v] = W1u u + W1v v``),
+        so the two small projections are computed once each and broadcast,
+        instead of materialising ``B * N`` concatenated input rows.  The
+        ``(B, N, hidden)`` intermediate is processed in user chunks bounded
+        by ``max_chunk_elements`` float64 elements to keep memory flat.
+        """
+        user_vectors = np.atleast_2d(np.asarray(user_vectors, dtype=np.float64))
+        item_vectors = np.atleast_2d(np.asarray(item_vectors, dtype=np.float64))
+        if user_vectors.shape[1] != self.num_factors or item_vectors.shape[1] != self.num_factors:
+            raise ModelError(
+                f"expected feature dimension {self.num_factors}, got user "
+                f"{user_vectors.shape} and item {item_vectors.shape}"
+            )
+        user_pre = user_vectors @ self.w1[:, : self.num_factors].T
+        item_pre = item_vectors @ self.w1[:, self.num_factors :].T + self.b1
+        num_users = user_vectors.shape[0]
+        num_items = item_vectors.shape[0]
+        chunk = max(1, int(max_chunk_elements // max(1, num_items * self.hidden_units)))
+        scores = np.empty((num_users, num_items), dtype=np.float64)
+        for start in range(0, num_users, chunk):
+            stop = min(num_users, start + chunk)
+            hidden = np.maximum(user_pre[start:stop, None, :] + item_pre[None, :, :], 0.0)
+            scores[start:stop] = hidden @ self.w2 + self.b2
+        return scores
+
     def score_and_gradients(
         self,
         user_vectors: np.ndarray,

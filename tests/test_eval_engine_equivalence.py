@@ -1,0 +1,316 @@
+"""Loop / vectorized evaluation-engine equivalence.
+
+The contract under test (see ``docs/architecture.md``):
+
+* full-rank HR@10 / NDCG@10 / ER@5 / ER@10 / target-NDCG@10 are
+  **bit-identical** between ``evaluate_snapshot(engine="loop")`` and
+  ``engine="vectorized"`` — both engines read the same score blocks and
+  reduce per-user contributions identically;
+* under the sampled protocol both engines consume the evaluation RNG stream
+  through the same draws, so from equal seeds the metrics are again equal;
+* the equivalence holds at realistic dataset shapes (the calibrated ml-100k
+  and steam-200k miniatures), on handcrafted edge users (empty positives,
+  all-items positives), under score ties, and end-to-end through
+  ``FederatedConfig.eval_engine`` for both the MF and the MLP-scorer model.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.dataset import InteractionDataset
+from repro.data.presets import get_preset
+from repro.data.synthetic import SyntheticConfig, generate_synthetic_dataset
+from repro.exceptions import ModelError
+from repro.federated.config import FederatedConfig
+from repro.federated.simulation import FederatedSimulation
+from repro.metrics.evaluation import evaluate_snapshot
+from repro.models.mf import MatrixFactorizationModel
+from repro.rng import SeedSequenceFactory
+
+
+def _mf_score_block(dataset: InteractionDataset, seed: int = 0):
+    model = MatrixFactorizationModel(
+        dataset.num_users, dataset.num_items, num_factors=16, init_scale=1.0, rng=seed
+    )
+    return lambda users: model.score_block(model.user_factors[users])
+
+
+def _test_items(dataset: InteractionDataset, rng: np.random.Generator) -> np.ndarray:
+    """One held-out candidate per user; every third user skipped (-1)."""
+    items = rng.integers(0, dataset.num_items, size=dataset.num_users)
+    items[::3] = -1
+    return items
+
+
+def _targets(dataset: InteractionDataset, count: int = 5) -> np.ndarray:
+    return np.arange(min(count, dataset.num_items), dtype=np.int64)
+
+
+def _both_engines(dataset, score_block, *, block_size=7, seed=123, **kwargs):
+    results = []
+    for engine in ("loop", "vectorized"):
+        results.append(
+            evaluate_snapshot(
+                score_block,
+                dataset,
+                engine=engine,
+                block_size=block_size,
+                rng=np.random.default_rng(seed),
+                **kwargs,
+            )
+        )
+    return results
+
+
+def _assert_identical(loop_result, vectorized_result):
+    if loop_result.accuracy is None:
+        assert vectorized_result.accuracy is None
+    else:
+        assert loop_result.accuracy == vectorized_result.accuracy
+    if loop_result.exposure is None:
+        assert vectorized_result.exposure is None
+    else:
+        assert loop_result.exposure == vectorized_result.exposure
+
+
+class TestEdgeUsers:
+    """Handcrafted users: no positives, all-items positives, normal."""
+
+    @pytest.fixture()
+    def dataset(self):
+        num_items = 12
+        interactions = [(1, item) for item in range(num_items)]  # user 1: everything
+        interactions += [(2, 0), (2, 4), (3, 7)]
+        return InteractionDataset(4, num_items, interactions, name="edges")
+
+    @pytest.mark.parametrize("num_negatives", [None, 99])
+    def test_engines_agree(self, dataset, num_negatives):
+        rng = np.random.default_rng(5)
+        score_block = _mf_score_block(dataset)
+        loop_result, vectorized_result = _both_engines(
+            dataset,
+            score_block,
+            block_size=3,
+            test_items=_test_items(dataset, rng),
+            target_items=_targets(dataset, 3),
+            num_negatives=num_negatives,
+        )
+        _assert_identical(loop_result, vectorized_result)
+        # user 1 interacted with every target -> never in the ER denominator;
+        # its test item (if any) still ranks, matching the loop semantics.
+        assert loop_result.exposure is not None
+
+    def test_all_positive_user_alone_yields_empty_exposure(self, dataset):
+        only_full_user = InteractionDataset(
+            1, 4, [(0, 0), (0, 1), (0, 2), (0, 3)], name="full"
+        )
+        loop_result, vectorized_result = _both_engines(
+            only_full_user,
+            _mf_score_block(only_full_user),
+            test_items=np.array([2]),
+            target_items=np.array([1, 3]),
+            num_negatives=None,
+        )
+        _assert_identical(loop_result, vectorized_result)
+        assert loop_result.exposure.er_at_10 == 0.0
+        # full-catalog positives: the masked ranking is all -inf, the test
+        # item still wins by its raw score (rank 1).
+        assert loop_result.accuracy.hr_at_10 == 1.0
+
+    def test_sampled_protocol_with_saturated_user(self, dataset):
+        """A user whose positives cover the catalog draws once, then gives up."""
+        only_full_user = InteractionDataset(
+            1, 4, [(0, 0), (0, 1), (0, 2), (0, 3)], name="full"
+        )
+        loop_result, vectorized_result = _both_engines(
+            only_full_user,
+            _mf_score_block(only_full_user),
+            test_items=np.array([2]),
+            num_negatives=10,
+        )
+        _assert_identical(loop_result, vectorized_result)
+        assert loop_result.accuracy.hr_at_10 == 1.0
+
+
+class TestScoreTies:
+    """Exact score ties must not split the engines."""
+
+    def test_constant_scores(self):
+        dataset = InteractionDataset(3, 8, [(0, 1), (1, 2), (1, 3)], name="ties")
+        constant = np.zeros((3, 8))
+        score_block = lambda users: constant[users]  # noqa: E731
+        loop_result, vectorized_result = _both_engines(
+            dataset,
+            score_block,
+            test_items=np.array([4, 5, 6]),
+            target_items=np.array([0, 7]),
+            num_negatives=None,
+        )
+        _assert_identical(loop_result, vectorized_result)
+        # Optimistic ranks: every target ties for rank 1, so all are exposed.
+        assert loop_result.exposure.er_at_5 == 1.0
+        assert loop_result.accuracy.hr_at_10 == 1.0
+
+    def test_partial_ties_at_the_boundary(self):
+        dataset = InteractionDataset(2, 20, [(0, 0)], name="boundary")
+        scores = np.zeros((2, 20))
+        scores[:, :12] = 1.0  # 12 items tie above the rest
+        score_block = lambda users: scores[users]  # noqa: E731
+        loop_result, vectorized_result = _both_engines(
+            dataset,
+            score_block,
+            test_items=np.array([11, 19]),
+            target_items=np.array([5, 19]),
+            num_negatives=None,
+        )
+        _assert_identical(loop_result, vectorized_result)
+
+
+@pytest.mark.parametrize("shape", ["ml-100k-mini", "steam-200k-mini"])
+@pytest.mark.parametrize("num_negatives", [None, 99])
+class TestRealisticShapes:
+    def test_engines_agree(self, shape, num_negatives):
+        preset = get_preset(shape)
+        dataset = generate_synthetic_dataset(
+            SyntheticConfig.from_preset(preset),
+            SeedSequenceFactory(11).generator(f"eval-eq-{shape}"),
+        )
+        rng = np.random.default_rng(17)
+        loop_result, vectorized_result = _both_engines(
+            dataset,
+            _mf_score_block(dataset, seed=3),
+            block_size=64,
+            test_items=_test_items(dataset, rng),
+            target_items=_targets(dataset, 5),
+            num_negatives=num_negatives,
+        )
+        _assert_identical(loop_result, vectorized_result)
+        assert loop_result.accuracy.num_evaluated_users > 0
+
+
+class TestValidation:
+    def test_unknown_engine_rejected(self):
+        dataset = InteractionDataset(2, 3, [(0, 0)])
+        with pytest.raises(ModelError):
+            evaluate_snapshot(
+                lambda users: np.zeros((users.shape[0], 3)),
+                dataset,
+                test_items=np.array([1, 1]),
+                engine="warp",
+            )
+
+    def test_bad_block_size_rejected(self):
+        dataset = InteractionDataset(2, 3, [(0, 0)])
+        with pytest.raises(ModelError):
+            evaluate_snapshot(
+                lambda users: np.zeros((users.shape[0], 3)),
+                dataset,
+                test_items=np.array([1, 1]),
+                block_size=0,
+            )
+
+    def test_wrong_score_shape_rejected(self):
+        dataset = InteractionDataset(2, 3, [(0, 0)])
+        for engine in ("loop", "vectorized"):
+            with pytest.raises(ModelError):
+                evaluate_snapshot(
+                    lambda users: np.zeros((users.shape[0], 5)),
+                    dataset,
+                    test_items=np.array([1, 1]),
+                    engine=engine,
+                )
+
+    def test_nothing_requested_is_a_no_op(self):
+        dataset = InteractionDataset(2, 3, [(0, 0)])
+        calls = []
+
+        def score_block(users):  # pragma: no cover - must not run
+            calls.append(users)
+            return np.zeros((users.shape[0], 3))
+
+        result = evaluate_snapshot(score_block, dataset)
+        assert result.accuracy is None and result.exposure is None
+        assert not calls
+
+
+class TestSimulationIntegration:
+    """`FederatedConfig.eval_engine` end to end, MF and MLP-scorer models."""
+
+    @pytest.fixture()
+    def small_setup(self):
+        rng = np.random.default_rng(29)
+        num_users, num_items = 24, 30
+        pairs = [
+            (user, item)
+            for user in range(num_users)
+            for item in rng.choice(num_items, size=4, replace=False)
+        ]
+        dataset = InteractionDataset(num_users, num_items, pairs, name="sim-eq")
+        test_items = rng.integers(0, num_items, size=num_users)
+        targets = np.array([0, 1], dtype=np.int64)
+        return dataset, test_items, targets
+
+    def _run(self, dataset, test_items, targets, eval_engine, **config_kwargs):
+        config = FederatedConfig(
+            num_factors=8,
+            clients_per_round=8,
+            num_epochs=4,
+            eval_engine=eval_engine,
+            **config_kwargs,
+        )
+        simulation = FederatedSimulation(
+            train=dataset,
+            config=config,
+            test_items=test_items,
+            target_items=targets,
+            seed=7,
+            evaluate_every=2,
+            eval_num_negatives=9,
+        )
+        return simulation.run()
+
+    @pytest.mark.parametrize("use_scorer", [False, True])
+    def test_histories_identical_across_eval_engines(
+        self, small_setup, use_scorer
+    ):
+        dataset, test_items, targets = small_setup
+        loop_run = self._run(
+            dataset, test_items, targets, "loop", use_learnable_scorer=use_scorer
+        )
+        vectorized_run = self._run(
+            dataset, test_items, targets, "vectorized", use_learnable_scorer=use_scorer
+        )
+        assert len(loop_run.history) == len(vectorized_run.history)
+        for loop_epoch, vectorized_epoch in zip(
+            loop_run.history.records, vectorized_run.history.records
+        ):
+            assert loop_epoch.training_loss == vectorized_epoch.training_loss
+            assert loop_epoch.accuracy == vectorized_epoch.accuracy
+            assert loop_epoch.exposure == vectorized_epoch.exposure
+
+    def test_full_rank_histories_identical(self, small_setup):
+        dataset, test_items, targets = small_setup
+        runs = {}
+        for engine in ("loop", "vectorized"):
+            simulation = FederatedSimulation(
+                train=dataset,
+                config=FederatedConfig(
+                    num_factors=8,
+                    clients_per_round=8,
+                    num_epochs=3,
+                    eval_engine=engine,
+                ),
+                test_items=test_items,
+                target_items=targets,
+                seed=13,
+                evaluate_every=1,
+                eval_num_negatives=None,
+            )
+            runs[engine] = simulation.run()
+        for loop_epoch, vectorized_epoch in zip(
+            runs["loop"].history.records, runs["vectorized"].history.records
+        ):
+            assert loop_epoch.accuracy == vectorized_epoch.accuracy
+            assert loop_epoch.exposure == vectorized_epoch.exposure
