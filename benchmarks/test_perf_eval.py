@@ -1,21 +1,27 @@
-"""Benchmark: evaluation-engine throughput (loop oracle vs vectorized).
+"""Benchmark: evaluation throughput (engines and sampled-protocol streams).
 
-One model snapshot is evaluated end to end — HR@10, NDCG@10, ER@5, ER@10 and
-target-NDCG@10 — at the synthetic paper shapes (Table II), under the
-full-ranking protocol with 10 target items:
+Two measurements share this module:
 
-* ``engine="loop"`` — the per-user reference: four Python loops over a
-  ``score_fn(user)`` callback (accuracy pass + single-scoring exposure pass).
-* ``engine="vectorized"`` — stacked ``U_block @ V.T`` scoring, shared
-  InteractionStore masks, partition-based top-K thresholds.
+* **Full-ranking engines** — one model snapshot evaluated end to end (HR@10,
+  NDCG@10, ER@5, ER@10, target-NDCG@10) at the synthetic paper shapes
+  (Table II) under the full-ranking protocol, ``engine="loop"`` (the
+  per-user reference) against ``engine="vectorized"`` (stacked scoring,
+  shared InteractionStore masks, partition-based top-K thresholds).  Both
+  engines read identical score blocks, so the benchmark asserts every
+  full-rank metric is **bit-identical** before trusting the timing.
+  Gate: vectorized >= 5x loop at the ml-100k shape.
+* **Sampled-protocol streams** — the paper's sampled ranking protocol
+  (1 positive + 99 sampled negatives) under ``eval_sampler="per-user"``
+  (the historical one-user-at-a-time draw) against ``eval_sampler="batched"``
+  (one stacked rejection-sampling draw and one blocked broadcast ranking
+  per score block).  Loop/vectorized agreement is asserted per stream
+  before timing.  Gates: batched >= 1.5x per-user at the ml-100k shape
+  (measured ~2.2x) and strictly faster at ml-1m (where the scoring GEMM
+  dominates the epoch).
 
-Both engines read identical score blocks, so the speedup is free of any
-numerical trade-off: the benchmark additionally asserts that every full-rank
-metric is **bit-identical** between the engines before trusting the timing.
-
-Gate: vectorized >= 5x loop at the ml-100k shape (the full benchmark), and a
-fast smoke variant (>= 3x, reduced repeats) for CI, where shared runners are
-noisier.  Results land in ``benchmarks/results/perf_eval.json`` / ``.txt``.
+Fast smoke variants (reduced repeats, lower thresholds for noisy shared CI
+runners) run in the CI perf job via ``-k smoke``.  Results land in
+``benchmarks/results/perf_eval.json`` / ``.txt``.
 """
 
 from __future__ import annotations
@@ -45,6 +51,17 @@ SHAPES: dict[str, int] = {
     "ml-100k": 5,
     "ml-1m": 2,
     "steam-200k": 2,
+}
+
+#: The sampled ranking protocol's shapes and gates.  At ml-100k the per-user
+#: draw loop dominates the epoch (measured ~2.2x from batching it); at ml-1m
+#: the scoring GEMM does, so the stream switch buys less (~1.7x) but must
+#: still strictly win.
+NUM_EVAL_NEGATIVES = 99
+SAMPLED_MIN_SPEEDUP = 1.5
+SAMPLED_SHAPES: dict[str, int] = {
+    "ml-100k": 5,
+    "ml-1m": 2,
 }
 
 
@@ -119,13 +136,73 @@ def _measure_shape(name: str, repeats: int) -> dict:
     }
 
 
+def _evaluate_sampled(eval_sampler: str, engine: str, dataset, score_block, test_items):
+    return evaluate_snapshot(
+        score_block,
+        dataset,
+        test_items=test_items,
+        num_negatives=NUM_EVAL_NEGATIVES,
+        rng=np.random.default_rng(2022),
+        engine=engine,
+        eval_sampler=eval_sampler,
+    )
+
+
+def _measure_sampled_shape(name: str, repeats: int) -> dict:
+    """Per-user vs batched evaluation stream at one sampled-protocol shape.
+
+    Correctness first: for each stream, the loop oracle and the vectorized
+    engine must report identical metrics from the shared seed — only then is
+    the stream's throughput measured (vectorized engine, interleaved
+    best-of, same discipline as the full-rank sweep).
+    """
+    preset, dataset, score_block, test_items, _ = _build_snapshot(name)
+    results = {}
+    for sampler in ("per-user", "batched"):
+        per_engine = {
+            engine: _evaluate_sampled(sampler, engine, dataset, score_block, test_items)
+            for engine in ("loop", "vectorized")
+        }
+        assert per_engine["loop"].accuracy == per_engine["vectorized"].accuracy, (
+            f"sampled metrics must be identical across engines under the "
+            f"{sampler!r} stream"
+        )
+        results[sampler] = per_engine["vectorized"]
+
+    best = {sampler: float("inf") for sampler in ("per-user", "batched")}
+    for _ in range(repeats):
+        for sampler in best:
+            for _ in range(2):
+                start = time.perf_counter()
+                _evaluate_sampled(sampler, "vectorized", dataset, score_block, test_items)
+                best[sampler] = min(best[sampler], time.perf_counter() - start)
+    per_user_eps = 1.0 / best["per-user"]
+    batched_eps = 1.0 / best["batched"]
+    return {
+        "dataset": preset.name,
+        "num_users": preset.num_users,
+        "num_items": preset.num_items,
+        "num_factors": NUM_FACTORS,
+        "protocol": f"sampled-{NUM_EVAL_NEGATIVES}",
+        "per_user_evals_per_sec": per_user_eps,
+        "batched_evals_per_sec": batched_eps,
+        "speedup": batched_eps / per_user_eps,
+        "per_user_hr_at_10": results["per-user"].accuracy.hr_at_10,
+        "batched_hr_at_10": results["batched"].accuracy.hr_at_10,
+    }
+
+
 def test_perf_eval(benchmark, save_result):
     payload = run_once(
         benchmark,
         lambda: {
             "shapes": [
                 _measure_shape(name, repeats) for name, repeats in SHAPES.items()
-            ]
+            ],
+            "sampled_shapes": [
+                _measure_sampled_shape(name, repeats)
+                for name, repeats in SAMPLED_SHAPES.items()
+            ],
         },
     )
 
@@ -143,6 +220,18 @@ def test_perf_eval(benchmark, save_result):
             f"  vectorized engine: {shape['vectorized_evals_per_sec']:8.2f} evals/sec"
             f"  ({shape['speedup']:.2f}x)",
         ]
+    lines += [
+        "",
+        "Sampled-protocol streams (1 positive + "
+        f"{NUM_EVAL_NEGATIVES} negatives, vectorized engine)",
+    ]
+    for shape in payload["sampled_shapes"]:
+        lines += [
+            f"{shape['dataset']} ({shape['num_users']} users / {shape['num_items']} items)",
+            f"  per-user stream: {shape['per_user_evals_per_sec']:8.2f} evals/sec",
+            f"  batched stream:  {shape['batched_evals_per_sec']:8.2f} evals/sec"
+            f"  ({shape['speedup']:.2f}x)",
+        ]
     save_result("perf_eval", "\n".join(lines))
 
     gate = next(s for s in payload["shapes"] if s["dataset"] == GATE_SHAPE)
@@ -150,6 +239,19 @@ def test_perf_eval(benchmark, save_result):
         f"vectorized evaluation is only {gate['speedup']:.2f}x faster than the loop "
         f"oracle at the {GATE_SHAPE} shape (required: {MIN_SPEEDUP}x)"
     )
+    sampled_gate = next(
+        s for s in payload["sampled_shapes"] if s["dataset"] == GATE_SHAPE
+    )
+    assert sampled_gate["speedup"] >= SAMPLED_MIN_SPEEDUP, (
+        f"the batched evaluation stream is only {sampled_gate['speedup']:.2f}x faster "
+        f"than the per-user stream at the {GATE_SHAPE} shape "
+        f"(required: {SAMPLED_MIN_SPEEDUP}x)"
+    )
+    for shape in payload["sampled_shapes"]:
+        assert shape["speedup"] > 1.0, (
+            f"the batched evaluation stream must beat the per-user stream at every "
+            f"measured shape; at {shape['dataset']} it is {shape['speedup']:.2f}x"
+        )
 
 
 # --------------------------------------------------------------------------- #
@@ -172,4 +274,24 @@ def test_perf_eval_smoke(benchmark):
     assert payload["speedup"] >= SMOKE_MIN_SPEEDUP, (
         f"vectorized evaluation is only {payload['speedup']:.2f}x faster than the "
         f"loop oracle in the smoke measurement (required: {SMOKE_MIN_SPEEDUP}x)"
+    )
+
+
+SAMPLED_SMOKE_MIN_SPEEDUP = 1.25
+
+
+def test_perf_eval_sampled_smoke(benchmark):
+    """Fast batched-stream regression gate (run by CI via ``-k smoke``).
+
+    The full gate requires >= 1.5x at the ml-100k sampled-protocol shape
+    (measured ~2.2x when healthy); this CI variant lowers the bar for noisy
+    shared runners but still fails on a genuine loss of the stacked draw's
+    advantage.  Engine agreement per stream is asserted inside the
+    measurement helper.
+    """
+    payload = run_once(benchmark, lambda: _measure_sampled_shape(GATE_SHAPE, 2))
+    assert payload["speedup"] >= SAMPLED_SMOKE_MIN_SPEEDUP, (
+        f"the batched evaluation stream is only {payload['speedup']:.2f}x faster "
+        f"than the per-user stream in the smoke measurement "
+        f"(required: {SAMPLED_SMOKE_MIN_SPEEDUP}x)"
     )

@@ -103,6 +103,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="evaluation engine: 'vectorized' (default) or 'loop'",
     )
     run_parser.add_argument(
+        "--eval-sampler",
+        default="per-user",
+        help=(
+            "sampled-protocol negative stream: 'per-user' (default, "
+            "historical seed histories) or 'batched' (stacked per-block draw)"
+        ),
+    )
+    run_parser.add_argument(
         "--fuse-rounds",
         type=int,
         default=1,
@@ -141,6 +149,7 @@ def _command_run(args: argparse.Namespace) -> int:
         engine=args.engine,
         sampler=args.sampler,
         eval_engine=args.eval_engine,
+        eval_sampler=args.eval_sampler,
         fuse_rounds=args.fuse_rounds,
         seed=args.seed,
     )

@@ -23,6 +23,12 @@ engines implement that draw (selected by ``FederatedConfig.sampler``):
 
 Both engines are exact; see ``docs/architecture.md`` for the two RNG
 contracts and which simulation streams feed them.
+
+A third stacked draw, :func:`sample_ranking_negatives_batched`, serves the
+*evaluation* side: the sampled ranking protocol's ``"batched"`` stream
+(``FederatedConfig.eval_sampler``) draws one score-block's ranking negatives
+with replacement in a single rejection-sampling pass, optionally excluding
+each row's held-out test item.
 """
 
 from __future__ import annotations
@@ -37,6 +43,7 @@ __all__ = [
     "NegativeSampler",
     "sample_uniform_negatives",
     "sample_uniform_negatives_batched",
+    "sample_ranking_negatives_batched",
     "SAMPLER_ENGINES",
 ]
 
@@ -161,6 +168,130 @@ def sample_uniform_negatives_batched(
         users = pending[owners]
         taken[users, candidates] = True
         negatives[offsets[users] + filled[users] + ranks] = candidates
+        accepted = np.bincount(owners, minlength=pending.shape[0])
+        filled[pending] += accepted
+        remaining[pending] -= accepted
+        pending = pending[remaining[pending] > 0]
+    return negatives, offsets
+
+
+def sample_ranking_negatives_batched(
+    rng: np.random.Generator,
+    num_items: int,
+    counts: np.ndarray,
+    positive_masks: np.ndarray,
+    excluded_items: np.ndarray,
+    *,
+    num_positives: np.ndarray | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Draw ranking negatives for ``B`` users in one stacked pass.
+
+    This is the stacked core of the ``"batched"`` *evaluation* stream: unlike
+    the training draw of :func:`sample_uniform_negatives_batched` it samples
+    **with replacement** (the sampled ranking protocol accepts repeated
+    negatives, exactly like the per-user
+    :func:`repro.metrics.accuracy.draw_ranking_negatives`), and each row may
+    exclude one extra item — the row's held-out test item — on top of its
+    positives.
+
+    Parameters
+    ----------
+    rng:
+        The shared stream the whole batch consumes (one stream per draw
+        site, not one per user).
+    num_items:
+        Catalog size ``N``.
+    counts:
+        Requested negatives per row, shape ``(B,)``.  A row whose positives
+        plus excluded item cover the whole catalog receives **zero**
+        negatives (mirroring the per-user draw, which gives up after one
+        empty rejection round); because the draw is with replacement, every
+        other row receives exactly its requested count.
+    positive_masks:
+        Stacked boolean positive masks, shape ``(B, N)``.  Never mutated —
+        read-only views (e.g. contiguous
+        :meth:`repro.data.store.InteractionStore.mask_block` slices) are
+        welcome, which is what keeps the stacked draw allocation-free per
+        block.
+    excluded_items:
+        One extra excluded item id per row, shape ``(B,)``; negative values
+        mean "no exclusion".
+    num_positives:
+        Optional per-row popcount of ``positive_masks`` for callers that
+        cache it (e.g. :attr:`InteractionStore.degrees`); computed from the
+        masks when omitted.
+
+    Returns
+    -------
+    (negatives, offsets):
+        CSR-style result: row ``b``'s negatives are
+        ``negatives[offsets[b]:offsets[b + 1]]``, in acceptance (draw) order.
+
+    Every rejection round oversamples the pending rows by the inverse
+    acceptance probability (plus slack), tests the flat candidate vector
+    against the positive masks and the excluded items, and keeps each row's
+    accepted candidates in draw order up to its remaining quota — classic
+    rejection sampling, so each accepted draw is an exact uniform sample
+    from the row's free items.
+    """
+    counts = np.asarray(counts, dtype=np.int64)
+    num_rows = counts.shape[0]
+    excluded_items = np.asarray(excluded_items, dtype=np.int64)
+    if positive_masks.shape != (num_rows, num_items):
+        raise DataError(
+            f"positive_masks must have shape ({num_rows}, {num_items}), "
+            f"got {positive_masks.shape}"
+        )
+    if excluded_items.shape != (num_rows,):
+        raise DataError(
+            f"excluded_items must have shape ({num_rows},), got {excluded_items.shape}"
+        )
+    if np.any(excluded_items >= num_items):
+        raise DataError("excluded item id out of range")
+    if np.any(counts < 0):
+        raise DataError("counts must be non-negative")
+    if num_positives is None:
+        num_positives = positive_masks.sum(axis=1)
+    # Free items per row: the catalog minus the positives, minus the excluded
+    # item when it is valid and not already a positive.
+    excluded_is_free = np.zeros(num_rows, dtype=np.int64)
+    excludable = np.flatnonzero(excluded_items >= 0)
+    if excludable.shape[0] > 0:
+        excluded_is_free[excludable] = ~positive_masks[
+            excludable, excluded_items[excludable]
+        ]
+    free = num_items - np.asarray(num_positives, dtype=np.int64) - excluded_is_free
+    effective = np.where(free > 0, counts, 0)
+    offsets = np.zeros(num_rows + 1, dtype=np.int64)
+    np.cumsum(effective, out=offsets[1:])
+    total = int(offsets[-1])
+    negatives = np.empty(total, dtype=np.int64)
+    if total == 0:
+        return negatives, offsets
+
+    filled = np.zeros(num_rows, dtype=np.int64)
+    remaining = effective.copy()
+    pending = np.flatnonzero(remaining > 0)
+    while pending.shape[0] > 0:
+        # Acceptance probability per pending row is free/N; oversample
+        # accordingly (plus slack) so nearly every row finishes this round.
+        draws = np.ceil(remaining[pending] * (num_items / free[pending]) * 1.2).astype(
+            np.int64
+        ) + 4
+        owners = np.repeat(np.arange(pending.shape[0], dtype=np.int64), draws)
+        candidates = rng.integers(0, num_items, size=owners.shape[0], dtype=np.int64)
+        rows = pending[owners]
+        ok = ~positive_masks[rows, candidates] & (candidates != excluded_items[rows])
+        owners, candidates = owners[ok], candidates[ok]
+        # Rank of each accepted candidate within its owner (owners stay sorted
+        # ascending with draw order preserved inside each owner's run), then
+        # truncate to the remaining quota — with replacement, no dedup.
+        starts = np.searchsorted(owners, np.arange(pending.shape[0]))
+        ranks = np.arange(owners.shape[0], dtype=np.int64) - starts[owners]
+        keep = ranks < remaining[pending[owners]]
+        owners, candidates, ranks = owners[keep], candidates[keep], ranks[keep]
+        rows = pending[owners]
+        negatives[offsets[rows] + filled[rows] + ranks] = candidates
         accepted = np.bincount(owners, minlength=pending.shape[0])
         filled[pending] += accepted
         remaining[pending] -= accepted

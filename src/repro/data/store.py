@@ -147,6 +147,20 @@ class InteractionStore:
         self._check_user(user)
         return self.masks[user]
 
+    def mask_block(self, lo: int, hi: int) -> np.ndarray:
+        """Contiguous mask rows ``[lo, hi)`` — a read-only view, never a copy.
+
+        This is the blocked-evaluation entry point: both evaluation engines
+        partition the users into contiguous blocks, so their positive masks
+        (and the batched ranking-negative draw that tests candidates against
+        them) slice straight out of the shared matrix.
+        """
+        if lo < 0 or hi > self._num_users or lo > hi:
+            raise DataError(
+                f"block [{lo}, {hi}) out of range [0, {self._num_users})"
+            )
+        return self.masks[lo:hi]
+
     def mask_rows(self, users: np.ndarray) -> np.ndarray:
         """Stacked masks of ``users`` as a fresh *writable* ``(B, num_items)`` array.
 

@@ -56,7 +56,10 @@ class ExperimentConfig:
     engine: str = "vectorized"
     sampler: str = "permutation"
     eval_engine: str = "vectorized"
+    eval_sampler: str = "per-user"
     fuse_rounds: int = 1
+    use_learnable_scorer: bool = False
+    scorer_hidden_units: int = 32
     evaluate_every: int | None = None
     eval_num_negatives: int | None = 99
     seed: int = 0
@@ -97,7 +100,10 @@ class ExperimentConfig:
             engine=self.engine,
             sampler=self.sampler,
             eval_engine=self.eval_engine,
+            eval_sampler=self.eval_sampler,
             fuse_rounds=self.fuse_rounds,
+            use_learnable_scorer=self.use_learnable_scorer,
+            scorer_hidden_units=self.scorer_hidden_units,
         )
 
     def with_overrides(self, **kwargs) -> "ExperimentConfig":

@@ -81,6 +81,18 @@ class FederatedConfig:
         identically, so full-rank metrics are bit-identical and
         sampled-protocol metrics match under the same seed — this switch
         trades nothing but time.
+    eval_sampler:
+        Which RNG stream the sampled ranking protocol draws its negatives
+        from.  ``"per-user"`` (default) keeps the historical one-user-at-a-
+        time draws — evaluation histories are bit-identical to earlier
+        releases.  ``"batched"`` draws a whole score-block's negatives in
+        one stacked rejection-sampling pass against the shared
+        :class:`~repro.data.store.InteractionStore` mask rows; still an
+        exact draw from the same distribution, but a *different* realization
+        (like the training ``sampler`` switch).  Either evaluation engine
+        works with either stream — for a fixed stream the engines report
+        identical metrics per seed.  Irrelevant under the full-ranking
+        protocol.
     fuse_rounds:
         Cross-round fusion window of the vectorized MF engine.  ``1``
         (default) computes each round exactly against the freshest item
@@ -112,6 +124,7 @@ class FederatedConfig:
     engine: str = "vectorized"
     sampler: str = "permutation"
     eval_engine: str = "vectorized"
+    eval_sampler: str = "per-user"
     fuse_rounds: int = 1
 
     def validate(self) -> None:
@@ -145,6 +158,10 @@ class FederatedConfig:
         if self.eval_engine not in ("loop", "vectorized"):
             raise ConfigurationError(
                 f"eval_engine must be 'loop' or 'vectorized', got {self.eval_engine!r}"
+            )
+        if self.eval_sampler not in ("per-user", "batched"):
+            raise ConfigurationError(
+                f"eval_sampler must be 'per-user' or 'batched', got {self.eval_sampler!r}"
             )
         if self.fuse_rounds < 1:
             raise ConfigurationError("fuse_rounds must be at least 1")

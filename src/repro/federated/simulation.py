@@ -515,8 +515,10 @@ class FederatedSimulation:
 
         Both engines score through :meth:`score_block_function` over the same
         block partitioning and draw sampled-protocol negatives through the
-        same evaluation stream, so switching the engine changes the wall
-        clock, not the history.
+        stream selected by ``config.eval_sampler`` (``"per-user"`` preserves
+        historical seed histories; ``"batched"`` is a faster, different
+        realization), so switching the *engine* changes the wall clock, not
+        the history — only the sampler changes realizations.
         """
         if self.test_items is None and self.target_items is None:
             return None, None
@@ -529,5 +531,6 @@ class FederatedSimulation:
             num_negatives=self.eval_num_negatives,
             rng=self._eval_rng,
             engine=self.config.eval_engine,
+            eval_sampler=self.config.eval_sampler,
         )
         return result.accuracy, result.exposure

@@ -10,6 +10,7 @@ utilities.
 from repro.metrics.accuracy import (
     AccuracyReport,
     draw_ranking_negatives,
+    draw_ranking_negatives_batched,
     hit_ratio_at_k,
     ndcg_at_k_leave_one_out,
     evaluate_accuracy,
@@ -17,6 +18,7 @@ from repro.metrics.accuracy import (
 from repro.metrics.evaluation import (
     DEFAULT_BLOCK_SIZE,
     EVAL_ENGINES,
+    EVAL_SAMPLERS,
     EvaluationResult,
     evaluate_snapshot,
 )
@@ -33,6 +35,7 @@ __all__ = [
     "ExposureReport",
     "EvaluationResult",
     "EVAL_ENGINES",
+    "EVAL_SAMPLERS",
     "DEFAULT_BLOCK_SIZE",
     "evaluate_snapshot",
     "exposure_ratio_at_k",
@@ -42,6 +45,7 @@ __all__ = [
     "ndcg_at_k_leave_one_out",
     "evaluate_accuracy",
     "draw_ranking_negatives",
+    "draw_ranking_negatives_batched",
     "rank_of_items",
     "top_k_items",
     "cumulative_discounts",

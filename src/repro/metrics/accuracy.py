@@ -10,8 +10,12 @@ This module is the *loop* evaluation engine: one user at a time through a
 ``score_fn(user)`` callback.  It is kept as the equivalence oracle for the
 vectorized engine in :mod:`repro.metrics.evaluation`, which must reproduce
 its full-rank metrics bit-identically and its sampled-protocol metrics under
-the identical RNG stream (both engines draw negatives through
-:func:`draw_ranking_negatives`).
+the identical RNG stream.  Two evaluation streams exist (selected by
+``eval_sampler``): the historical per-user stream of
+:func:`draw_ranking_negatives`, and the ``"batched"`` stream of
+:func:`draw_ranking_negatives_batched`, which draws one score-block's
+negatives in a single stacked pass; both engines consume whichever stream is
+selected identically.
 """
 
 from __future__ import annotations
@@ -22,6 +26,7 @@ from typing import Callable
 import numpy as np
 
 from repro.data.dataset import InteractionDataset
+from repro.data.negative_sampling import sample_ranking_negatives_batched
 from repro.data.store import InteractionStore
 from repro.exceptions import ModelError
 from repro.rng import ensure_rng
@@ -32,6 +37,7 @@ __all__ = [
     "ndcg_at_k_leave_one_out",
     "evaluate_accuracy",
     "draw_ranking_negatives",
+    "draw_ranking_negatives_batched",
 ]
 
 ScoreFunction = Callable[[int], np.ndarray]
@@ -83,9 +89,21 @@ def evaluate_accuracy(
     k: int = 10,
     num_negatives: int | None = 99,
     rng: np.random.Generator | int | None = None,
+    predrawn_negatives: tuple[np.ndarray, np.ndarray] | None = None,
 ) -> AccuracyReport:
-    """HR@k and NDCG@k in a single ranking pass."""
-    hits, ndcg_sum, count = _ranking_pass(score_fn, train, test_items, k, num_negatives, rng)
+    """HR@k and NDCG@k in a single ranking pass.
+
+    ``predrawn_negatives`` optionally supplies the sampled protocol's
+    negatives as a ``(values, offsets)`` CSR pair indexed by user id (user
+    ``u``'s candidates are ``values[offsets[u]:offsets[u + 1]]``) instead of
+    drawing them here — the mechanism through which the loop engine consumes
+    the ``"batched"`` evaluation stream: the caller predraws every block via
+    :func:`draw_ranking_negatives_batched` and the per-user pass only ranks.
+    Ignored under the full-ranking protocol (``num_negatives=None``).
+    """
+    hits, ndcg_sum, count = _ranking_pass(
+        score_fn, train, test_items, k, num_negatives, rng, predrawn_negatives
+    )
     return AccuracyReport(
         hr_at_10=hits / count if count else 0.0,
         ndcg_at_10=ndcg_sum / count if count else 0.0,
@@ -113,6 +131,7 @@ def _ranking_pass(
     k: int,
     num_negatives: int | None,
     rng: np.random.Generator | int | None,
+    predrawn_negatives: tuple[np.ndarray, np.ndarray] | None = None,
 ) -> tuple[float, float, int]:
     """Shared evaluation loop returning (hit count, NDCG sum, user count).
 
@@ -133,6 +152,10 @@ def _ranking_pass(
         scores = score_fn(user)
         if num_negatives is None:
             rank = _full_rank(scores, test_item, store.positives(user))
+        elif predrawn_negatives is not None:
+            values, offsets = predrawn_negatives
+            negatives = values[offsets[user] : offsets[user + 1]]
+            rank = 1 + int(np.sum(scores[negatives] > scores[test_item]))
         else:
             rank = _sampled_rank(
                 scores, test_item, store, user, num_negatives, generator
@@ -163,16 +186,19 @@ def draw_ranking_negatives(
     test_item: int,
     num_negatives: int,
 ) -> np.ndarray:
-    """The sampled protocol's negative draw for one user.
+    """The sampled protocol's negative draw for one user (per-user stream).
 
     Candidates are drawn uniformly with replacement and accepted in draw
     order unless they are a positive of ``user`` or the test item itself;
     the user's positives come straight from the shared
     :class:`~repro.data.store.InteractionStore` mask row (a view — no
-    per-user mask array is allocated).  Both evaluation engines call this
-    helper, so they consume the evaluation RNG stream identically: every
-    iteration draws ``2 * remaining`` candidates, and a user whose positives
-    cover the whole catalog consumes exactly one draw before giving up.
+    per-user mask array is allocated).  Under ``eval_sampler="per-user"``
+    both evaluation engines call this helper, so they consume the evaluation
+    RNG stream identically: every iteration draws ``2 * remaining``
+    candidates, and a user whose positives cover the whole catalog consumes
+    exactly one draw before giving up.  This per-user stream pins the
+    historical seed histories; the ``"batched"`` stream of
+    :func:`draw_ranking_negatives_batched` is a different realization.
     """
     mask_row = store.mask_row(user)
     free = store.num_items - store.degree(user)
@@ -190,6 +216,64 @@ def draw_ranking_negatives(
     if not accepted:
         return np.empty(0, dtype=np.int64)
     return np.concatenate(accepted).astype(np.int64, copy=False)
+
+
+def draw_ranking_negatives_batched(
+    rng: np.random.Generator,
+    store: InteractionStore,
+    users: np.ndarray,
+    test_items: np.ndarray,
+    num_negatives: int,
+) -> tuple[np.ndarray, np.ndarray]:
+    """The sampled protocol's stacked negative draw for one block of users.
+
+    This is the ``"batched"`` evaluation stream's entry point (selected by
+    ``eval_sampler="batched"``): one call draws the ranking negatives of a
+    whole score block through a single stacked rejection-sampling pass of
+    :func:`~repro.data.negative_sampling.sample_ranking_negatives_batched`,
+    testing candidates directly against the shared
+    :class:`~repro.data.store.InteractionStore` mask rows (a contiguous
+    read-only :meth:`~repro.data.store.InteractionStore.mask_block` view
+    when ``users`` is a contiguous range — no per-user mask allocation).
+
+    **RNG contract of the batched stream.**  The stream is consumed one
+    stacked draw per user block, blocks in user order; within a block, each
+    rejection round draws one flat candidate vector covering every pending
+    row (rows in user order), so the realization depends only on the block
+    partitioning, the blocks' mask rows, the test items and ``num_negatives``
+    — never on which evaluation engine consumes it.  It is a *different*
+    realization from the per-user stream of :func:`draw_ranking_negatives`
+    (same distribution, different draw order), exactly like the round
+    sampler's ``"batched"`` contract.
+
+    Users whose ``test_items`` entry is negative are skipped (they request
+    zero negatives and consume no randomness); users whose positives plus
+    test item cover the catalog receive zero negatives, mirroring the
+    per-user draw's give-up.  Everyone else receives exactly
+    ``num_negatives`` draws (with replacement), so the CSR segments of the
+    returned ``(negatives, offsets)`` have length ``num_negatives`` or 0.
+    """
+    if num_negatives < 0:
+        raise ModelError(f"num_negatives must be non-negative, got {num_negatives}")
+    users = np.asarray(users, dtype=np.int64)
+    test_items = np.asarray(test_items, dtype=np.int64)
+    if users.shape != test_items.shape:
+        raise ModelError(
+            f"users and test_items must align, got {users.shape} vs {test_items.shape}"
+        )
+    if users.shape[0] == 0:
+        return np.empty(0, dtype=np.int64), np.zeros(1, dtype=np.int64)
+    lo = int(users[0])
+    if np.array_equal(users, np.arange(lo, lo + users.shape[0], dtype=np.int64)):
+        masks = store.mask_block(lo, lo + users.shape[0])
+        degrees = store.degrees[lo : lo + users.shape[0]]
+    else:
+        masks = store.mask_rows(users)
+        degrees = store.degrees[users]
+    counts = np.where(test_items >= 0, int(num_negatives), 0)
+    return sample_ranking_negatives_batched(
+        rng, store.num_items, counts, masks, test_items, num_positives=degrees
+    )
 
 
 def _sampled_rank(

@@ -27,10 +27,14 @@ Equivalence contract with the loop engine (``engine="loop"`` here runs it):
 * full-rank HR/NDCG/ER values are bit-identical: integer rank counts feed
   per-user contribution values collected in user order and reduced with the
   same ``np.sum`` / ``np.mean`` calls;
-* the sampled protocol draws every user's negatives through the shared
-  :func:`~repro.metrics.accuracy.draw_ranking_negatives`, in user order, so
-  both engines consume the evaluation RNG stream identically and report
-  identical sampled metrics.
+* the sampled protocol draws through one of two streams selected by
+  ``eval_sampler`` — the per-user stream of
+  :func:`~repro.metrics.accuracy.draw_ranking_negatives` (user order) or the
+  batched stream of
+  :func:`~repro.metrics.accuracy.draw_ranking_negatives_batched` (one
+  stacked draw per block, block order; the loop engine predraws through the
+  identical blocked calls) — so for either stream both engines consume the
+  evaluation RNG identically and report identical sampled metrics.
 """
 
 from __future__ import annotations
@@ -46,18 +50,33 @@ from repro.metrics.accuracy import (
     AccuracyReport,
     _validate_test_items,
     draw_ranking_negatives,
+    draw_ranking_negatives_batched,
     evaluate_accuracy,
 )
 from repro.metrics.exposure import ExposureReport, _validate_targets, evaluate_exposure
 from repro.metrics.ranking import cumulative_discounts
 from repro.rng import ensure_rng
 
-__all__ = ["EvaluationResult", "evaluate_snapshot", "EVAL_ENGINES", "DEFAULT_BLOCK_SIZE"]
+__all__ = [
+    "EvaluationResult",
+    "evaluate_snapshot",
+    "EVAL_ENGINES",
+    "EVAL_SAMPLERS",
+    "DEFAULT_BLOCK_SIZE",
+]
 
 ScoreBlockFunction = Callable[[np.ndarray], np.ndarray]
 
 #: The valid values of every ``eval_engine`` switch in the package.
 EVAL_ENGINES = ("loop", "vectorized")
+
+#: The valid values of every ``eval_sampler`` switch in the package: which
+#: RNG stream the sampled ranking protocol draws its negatives from.
+#: ``"per-user"`` (default) is the historical one-user-at-a-time stream that
+#: pins existing seed histories; ``"batched"`` draws a whole score-block's
+#: negatives in one stacked rejection-sampling pass — same distribution,
+#: different (faster) realization, identical between the two engines.
+EVAL_SAMPLERS = ("per-user", "batched")
 
 #: Default user-block size.  Small enough that a block's score matrix stays
 #: cache-resident through the mask/partition/compare pipeline; both engines
@@ -83,6 +102,7 @@ def evaluate_snapshot(
     num_negatives: int | None = 99,
     rng: np.random.Generator | int | None = None,
     engine: str = "vectorized",
+    eval_sampler: str = "per-user",
     block_size: int = DEFAULT_BLOCK_SIZE,
 ) -> EvaluationResult:
     """Evaluate accuracy and/or exposure of one model snapshot.
@@ -114,21 +134,36 @@ def evaluate_snapshot(
         identically.
     engine:
         ``"vectorized"`` (default) or ``"loop"`` — the per-user oracle.
+    eval_sampler:
+        Which RNG stream the sampled protocol draws from: ``"per-user"``
+        (default — the historical stream, one draw sequence per user) or
+        ``"batched"`` (one stacked draw per score block through
+        :func:`~repro.metrics.accuracy.draw_ranking_negatives_batched`).
+        Both engines consume either stream identically, so the metrics per
+        seed depend on the sampler, never on the engine.  Ignored under the
+        full-ranking protocol.
     block_size:
-        Users per scoring block (both engines share the partitioning).
+        Users per scoring block (both engines share the partitioning, and
+        the batched stream draws one stacked pass per block).
     """
     if engine not in EVAL_ENGINES:
         raise ModelError(f"engine must be one of {EVAL_ENGINES}, got {engine!r}")
+    if eval_sampler not in EVAL_SAMPLERS:
+        raise ModelError(
+            f"eval_sampler must be one of {EVAL_SAMPLERS}, got {eval_sampler!r}"
+        )
     if block_size <= 0:
         raise ModelError(f"block_size must be positive, got {block_size}")
     if test_items is None and target_items is None:
         return EvaluationResult(accuracy=None, exposure=None)
     if engine == "loop":
         return _evaluate_loop(
-            score_block, train, test_items, target_items, k, num_negatives, rng, block_size
+            score_block, train, test_items, target_items, k, num_negatives, rng,
+            eval_sampler, block_size,
         )
     return _evaluate_vectorized(
-        score_block, train, test_items, target_items, k, num_negatives, rng, block_size
+        score_block, train, test_items, target_items, k, num_negatives, rng,
+        eval_sampler, block_size,
     )
 
 
@@ -148,14 +183,20 @@ def _evaluate_loop(
     k: int,
     num_negatives: int | None,
     rng: np.random.Generator | int | None,
+    eval_sampler: str,
     block_size: int,
 ) -> EvaluationResult:
     """The per-user oracle, fed block-materialised scores.
 
     Scores are materialised through the same ``score_block`` calls the
     vectorized engine makes (same block boundaries), then handed to the
-    per-user loop metrics as a row-indexing callback.
+    per-user loop metrics as a row-indexing callback.  Under
+    ``eval_sampler="batched"`` the sampled protocol's negatives are predrawn
+    here — one stacked draw per block, blocks in user order, exactly the
+    stream consumption of the vectorized engine — and the per-user pass only
+    ranks them.
     """
+    generator = ensure_rng(rng)
     scores = np.concatenate(
         [
             np.asarray(score_block(np.arange(lo, hi, dtype=np.int64)), dtype=np.float64)
@@ -169,8 +210,17 @@ def _evaluate_loop(
             f"matrix over all users, got {scores.shape}"
         )
     score_fn = lambda user: scores[user]  # noqa: E731 - tiny adapter
+    predrawn = None
+    if test_items is not None and num_negatives is not None and eval_sampler == "batched":
+        predrawn = _predraw_batched_negatives(
+            train, _validate_test_items(test_items, train.num_users, k),
+            num_negatives, generator, block_size,
+        )
     accuracy = (
-        evaluate_accuracy(score_fn, train, test_items, k=k, num_negatives=num_negatives, rng=rng)
+        evaluate_accuracy(
+            score_fn, train, test_items, k=k, num_negatives=num_negatives,
+            rng=generator, predrawn_negatives=predrawn,
+        )
         if test_items is not None
         else None
     )
@@ -180,6 +230,37 @@ def _evaluate_loop(
         else None
     )
     return EvaluationResult(accuracy=accuracy, exposure=exposure)
+
+
+def _predraw_batched_negatives(
+    train: InteractionDataset,
+    test_items: np.ndarray,
+    num_negatives: int,
+    generator: np.random.Generator,
+    block_size: int,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Consume the batched evaluation stream for every block upfront.
+
+    Returns the whole population's ranking negatives as one ``(values,
+    offsets)`` CSR pair indexed by user id.  The stream consumption — one
+    stacked :func:`draw_ranking_negatives_batched` call per block, blocks in
+    user order — is identical to the vectorized engine's interleaved
+    draws, which is what keeps the loop engine the equivalence oracle for
+    the batched stream too.
+    """
+    store = train.interaction_store()
+    values_parts: list[np.ndarray] = []
+    counts_parts: list[np.ndarray] = []
+    for lo, hi in _user_blocks(train.num_users, block_size):
+        values, offsets = draw_ranking_negatives_batched(
+            generator, store, np.arange(lo, hi, dtype=np.int64),
+            test_items[lo:hi], num_negatives,
+        )
+        values_parts.append(values)
+        counts_parts.append(np.diff(offsets))
+    all_offsets = np.zeros(train.num_users + 1, dtype=np.int64)
+    np.cumsum(np.concatenate(counts_parts), out=all_offsets[1:])
+    return np.concatenate(values_parts), all_offsets
 
 
 def _top_k_thresholds(masked: np.ndarray, cutoffs: Sequence[int]) -> dict[int, np.ndarray]:
@@ -235,6 +316,7 @@ def _evaluate_vectorized(
     k: int,
     num_negatives: int | None,
     rng: np.random.Generator | int | None,
+    eval_sampler: str,
     block_size: int,
     exposure_ks: tuple[int, int] = (5, 10),
     exposure_ndcg_k: int = 10,
@@ -302,10 +384,16 @@ def _evaluate_vectorized(
         # partition reorders the rows: the sampled protocol reads the drawn
         # negatives' scores, the exposure metrics the targets' columns.
         if test_items is not None and num_negatives is not None:
-            block_hits, contributions = _accuracy_block_sampled(
-                scores, valid, test_scores, block_tests, lo, k,
-                num_negatives, generator, store,
-            )
+            if eval_sampler == "batched":
+                block_hits, contributions = _accuracy_block_sampled_batched(
+                    scores, valid, test_scores, block_tests, lo, hi, k,
+                    num_negatives, generator, store,
+                )
+            else:
+                block_hits, contributions = _accuracy_block_sampled(
+                    scores, valid, test_scores, block_tests, lo, k,
+                    num_negatives, generator, store,
+                )
             hits += block_hits
             evaluated += contributions.shape[0]
             accuracy_parts.append(contributions)
@@ -415,6 +503,56 @@ def _accuracy_block_sampled(
         if rank <= k:
             block_hits += 1
             contributions[position] = 1.0 / float(np.log2(rank + 1.0))
+    return block_hits, contributions
+
+
+def _accuracy_block_sampled_batched(
+    masked: np.ndarray,
+    valid: np.ndarray,
+    test_scores: np.ndarray,
+    block_tests: np.ndarray,
+    block_start: int,
+    block_stop: int,
+    k: int,
+    num_negatives: int,
+    generator: np.random.Generator,
+    store,
+) -> tuple[int, np.ndarray]:
+    """Sampled-protocol HR/NDCG of one block under the batched stream.
+
+    One stacked :func:`draw_ranking_negatives_batched` call replaces the
+    per-user draw loop, and one blocked broadcast comparison replaces the
+    per-user ``_sampled_rank`` calls.  Runs *before* the block's partition:
+    it reads scores at the drawn negatives' positions (never positives, so
+    the in-place masking left them untouched).  Because the draw is with
+    replacement, every valid user's candidate segment has exactly
+    ``num_negatives`` entries — except saturated users (positives + test
+    item cover the catalog), whose empty segment yields rank 1 exactly like
+    the per-user give-up.
+    """
+    contributions = np.zeros(valid.shape[0], dtype=np.float64)
+    users = np.arange(block_start, block_stop, dtype=np.int64)
+    negatives, offsets = draw_ranking_negatives_batched(
+        generator, store, users, block_tests, num_negatives
+    )
+    if valid.shape[0] == 0:
+        return 0, contributions
+    segment_lengths = np.diff(offsets)[valid]
+    full = np.flatnonzero(segment_lengths > 0)
+    saturated = np.flatnonzero(segment_lengths == 0)
+    # Saturated users rank their test item against nothing: rank 1, a hit.
+    block_hits = int(saturated.shape[0])
+    contributions[saturated] = 1.0  # 1 / log2(1 + 1)
+    if full.shape[0] > 0:
+        candidate_sets = negatives.reshape(full.shape[0], num_negatives)
+        rows = valid[full]
+        candidate_scores = masked[rows[:, None], candidate_sets]
+        ranks = 1 + np.count_nonzero(
+            candidate_scores > test_scores[full][:, None], axis=1
+        )
+        hit = ranks <= k
+        block_hits += int(np.count_nonzero(hit))
+        contributions[full[hit]] = 1.0 / np.log2(ranks[hit] + 1.0)
     return block_hits, contributions
 
 

@@ -1,0 +1,110 @@
+"""Golden seed-history case definitions and replay helpers.
+
+Four PRs of engine/sampler/evaluation switches rest on "same seed -> same
+history" equivalence claims.  This module pins those claims to *committed*
+fixtures: each case is one small-but-complete ``run_experiment`` run (real
+pipeline — synthetic dataset, leave-one-out split, public sampling, target
+selection, attack construction, federated training, periodic evaluation)
+whose full metric history is serialized to JSON and replayed bit-identically
+by ``test_golden_histories.py``.
+
+The grid covers MF and the MLP scorer, benign and FedRecAttack runs, and
+both round engines — plus two cases pinning the ``eval_sampler="batched"``
+evaluation stream introduced alongside this harness.  Every case keeps the
+historical defaults for everything it does not explicitly override, so a
+silent cross-version drift of *any* stream (client RNG, round sampler,
+privacy noise, attack randomness, evaluation negatives) fails the suite.
+
+Intentional contract changes are an explicit diff: edit the case or the
+code, run ``PYTHONPATH=src python tests/golden/regenerate.py``, and commit
+the fixture change next to the code change.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import ExperimentResult, run_experiment
+
+FIXTURES_DIR = Path(__file__).resolve().parent / "fixtures"
+
+#: Shared base of every golden case: a miniature of the paper's ml-100k
+#: pipeline that trains in well under a second but still exercises every
+#: stream (sampled-protocol evaluation included).
+_BASE = dict(
+    dataset="ml-100k",
+    scale=0.05,
+    xi=0.1,
+    kappa=20,
+    num_epochs=3,
+    clients_per_round=16,
+    num_factors=8,
+    eval_num_negatives=19,
+    evaluate_every=1,
+    seed=20220426,
+)
+
+_BENIGN = dict(attack="none", rho=0.0)
+_ATTACK = dict(attack="fedrecattack", rho=0.2)
+
+GOLDEN_CASES: dict[str, dict] = {}
+for _model, _model_kwargs in (("mf", {}), ("mlp", {"use_learnable_scorer": True})):
+    for _mode, _mode_kwargs in (("benign", _BENIGN), ("attack", _ATTACK)):
+        for _engine in ("loop", "vectorized"):
+            GOLDEN_CASES[f"{_model}-{_mode}-{_engine}"] = {
+                **_BASE,
+                **_model_kwargs,
+                **_mode_kwargs,
+                "engine": _engine,
+            }
+# The batched evaluation stream gets its own pinned histories, so future
+# changes to its draw order are an explicit fixture diff too.
+for _mode, _mode_kwargs in (("benign", _BENIGN), ("attack", _ATTACK)):
+    GOLDEN_CASES[f"mf-{_mode}-eval-batched"] = {
+        **_BASE,
+        **_mode_kwargs,
+        "engine": "vectorized",
+        "eval_sampler": "batched",
+    }
+
+
+def serialize_result(result: ExperimentResult) -> dict:
+    """The per-epoch metric history as a JSON-exact payload.
+
+    Every float passes through ``json`` unchanged (``repr`` round-trips
+    IEEE-754 doubles exactly), so fixture comparison is bit-comparison.
+    """
+    records = []
+    for record in result.history.records:
+        records.append(
+            {
+                "epoch": record.epoch,
+                "training_loss": record.training_loss,
+                "accuracy": None
+                if record.accuracy is None
+                else {
+                    "hr_at_10": record.accuracy.hr_at_10,
+                    "ndcg_at_10": record.accuracy.ndcg_at_10,
+                    "num_evaluated_users": record.accuracy.num_evaluated_users,
+                },
+                "exposure": None
+                if record.exposure is None
+                else {
+                    "er_at_5": record.exposure.er_at_5,
+                    "er_at_10": record.exposure.er_at_10,
+                    "ndcg_at_10": record.exposure.ndcg_at_10,
+                },
+            }
+        )
+    return {
+        "target_items": [int(item) for item in result.target_items],
+        "num_malicious": result.num_malicious,
+        "history": records,
+    }
+
+
+def run_case(name: str) -> dict:
+    """Replay one golden case and return its serialized history."""
+    config = ExperimentConfig(**GOLDEN_CASES[name])
+    return serialize_result(run_experiment(config))

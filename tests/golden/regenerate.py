@@ -1,0 +1,55 @@
+#!/usr/bin/env python
+"""Regenerate the committed golden seed-history fixtures.
+
+Usage (from the repository root)::
+
+    PYTHONPATH=src python tests/golden/regenerate.py            # all cases
+    PYTHONPATH=src python tests/golden/regenerate.py --only mf-attack-loop
+
+Run this **only** when a contract change is intentional — a new stream, a
+documented realization change, a fixed bug that legitimately moves metrics —
+and commit the fixture diff together with the code change and a line in the
+commit message saying *why* the histories moved.  A fixture diff showing up
+without such a change is exactly the silent drift this harness exists to
+catch.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from golden_cases import FIXTURES_DIR, GOLDEN_CASES, run_case  # noqa: E402
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--only",
+        action="append",
+        choices=sorted(GOLDEN_CASES),
+        help="regenerate just the named case (repeatable)",
+    )
+    args = parser.parse_args(argv)
+    names = args.only or sorted(GOLDEN_CASES)
+    FIXTURES_DIR.mkdir(parents=True, exist_ok=True)
+    for name in names:
+        payload = {
+            "case": name,
+            "config": GOLDEN_CASES[name],
+            "result": run_case(name),
+        }
+        path = FIXTURES_DIR / f"{name}.json"
+        path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+        final = payload["result"]["history"][-1]
+        print(f"{name}: wrote {path.name} "
+              f"(final loss {final['training_loss']:.6f})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -6,12 +6,19 @@ The contract under test (see ``docs/architecture.md``):
   **bit-identical** between ``evaluate_snapshot(engine="loop")`` and
   ``engine="vectorized"`` — both engines read the same score blocks and
   reduce per-user contributions identically;
-* under the sampled protocol both engines consume the evaluation RNG stream
-  through the same draws, so from equal seeds the metrics are again equal;
+* under the sampled protocol both engines consume whichever evaluation
+  stream ``eval_sampler`` selects (``"per-user"`` or ``"batched"``) through
+  the same draws, so from equal seeds the metrics are equal for every cell
+  of the {eval_engine} x {eval_sampler} grid that shares a stream;
+* the two *streams* are different realizations of the same distribution —
+  switching ``eval_sampler`` (unlike ``eval_engine``) changes sampled
+  histories, exactly like the round sampler's ``"batched"`` switch;
 * the equivalence holds at realistic dataset shapes (the calibrated ml-100k
   and steam-200k miniatures), on handcrafted edge users (empty positives,
-  all-items positives), under score ties, and end-to-end through
-  ``FederatedConfig.eval_engine`` for both the MF and the MLP-scorer model.
+  all-items positives), under score ties, through the generic
+  ``Recommender.score_block`` fallback, and end-to-end through
+  ``FederatedConfig.eval_engine`` / ``eval_sampler`` for both the MF and
+  the MLP-scorer model.
 """
 
 from __future__ import annotations
@@ -48,7 +55,7 @@ def _targets(dataset: InteractionDataset, count: int = 5) -> np.ndarray:
     return np.arange(min(count, dataset.num_items), dtype=np.int64)
 
 
-def _both_engines(dataset, score_block, *, block_size=7, seed=123, **kwargs):
+def _both_engines(dataset, score_block, *, block_size=7, seed=123, eval_sampler="per-user", **kwargs):
     results = []
     for engine in ("loop", "vectorized"):
         results.append(
@@ -56,12 +63,23 @@ def _both_engines(dataset, score_block, *, block_size=7, seed=123, **kwargs):
                 score_block,
                 dataset,
                 engine=engine,
+                eval_sampler=eval_sampler,
                 block_size=block_size,
                 rng=np.random.default_rng(seed),
                 **kwargs,
             )
         )
     return results
+
+
+#: The sampled-protocol grid: every (num_negatives, eval_sampler) cell the
+#: equivalence suites sweep.  The full-ranking protocol consumes no stream,
+#: so it appears once.
+PROTOCOL_GRID = [
+    (None, "per-user"),
+    (99, "per-user"),
+    (99, "batched"),
+]
 
 
 def _assert_identical(loop_result, vectorized_result):
@@ -85,14 +103,15 @@ class TestEdgeUsers:
         interactions += [(2, 0), (2, 4), (3, 7)]
         return InteractionDataset(4, num_items, interactions, name="edges")
 
-    @pytest.mark.parametrize("num_negatives", [None, 99])
-    def test_engines_agree(self, dataset, num_negatives):
+    @pytest.mark.parametrize("num_negatives,eval_sampler", PROTOCOL_GRID)
+    def test_engines_agree(self, dataset, num_negatives, eval_sampler):
         rng = np.random.default_rng(5)
         score_block = _mf_score_block(dataset)
         loop_result, vectorized_result = _both_engines(
             dataset,
             score_block,
             block_size=3,
+            eval_sampler=eval_sampler,
             test_items=_test_items(dataset, rng),
             target_items=_targets(dataset, 3),
             num_negatives=num_negatives,
@@ -119,19 +138,27 @@ class TestEdgeUsers:
         # item still wins by its raw score (rank 1).
         assert loop_result.accuracy.hr_at_10 == 1.0
 
-    def test_sampled_protocol_with_saturated_user(self, dataset):
-        """A user whose positives cover the catalog draws once, then gives up."""
+    @pytest.mark.parametrize("eval_sampler", ["per-user", "batched"])
+    def test_sampled_protocol_with_saturated_user(self, dataset, eval_sampler):
+        """A user whose positives cover the catalog draws nothing usable.
+
+        The per-user stream draws once then gives up; the batched stream
+        requests zero negatives for the saturated row.  Either way the test
+        item ranks first against an empty candidate set in both engines.
+        """
         only_full_user = InteractionDataset(
             1, 4, [(0, 0), (0, 1), (0, 2), (0, 3)], name="full"
         )
         loop_result, vectorized_result = _both_engines(
             only_full_user,
             _mf_score_block(only_full_user),
+            eval_sampler=eval_sampler,
             test_items=np.array([2]),
             num_negatives=10,
         )
         _assert_identical(loop_result, vectorized_result)
         assert loop_result.accuracy.hr_at_10 == 1.0
+        assert loop_result.accuracy.ndcg_at_10 == 1.0
 
 
 class TestScoreTies:
@@ -167,11 +194,29 @@ class TestScoreTies:
         )
         _assert_identical(loop_result, vectorized_result)
 
+    @pytest.mark.parametrize("eval_sampler", ["per-user", "batched"])
+    def test_sampled_protocol_under_ties(self, eval_sampler):
+        """All-ties scores through the sampled protocol, both streams."""
+        dataset = InteractionDataset(3, 8, [(0, 1), (1, 2), (1, 3)], name="ties")
+        constant = np.zeros((3, 8))
+        score_block = lambda users: constant[users]  # noqa: E731
+        loop_result, vectorized_result = _both_engines(
+            dataset,
+            score_block,
+            eval_sampler=eval_sampler,
+            test_items=np.array([4, 5, 6]),
+            num_negatives=5,
+        )
+        _assert_identical(loop_result, vectorized_result)
+        # Optimistic ranks: the test item ties every sampled negative -> rank 1.
+        assert loop_result.accuracy.hr_at_10 == 1.0
+        assert loop_result.accuracy.ndcg_at_10 == 1.0
+
 
 @pytest.mark.parametrize("shape", ["ml-100k-mini", "steam-200k-mini"])
-@pytest.mark.parametrize("num_negatives", [None, 99])
+@pytest.mark.parametrize("num_negatives,eval_sampler", PROTOCOL_GRID)
 class TestRealisticShapes:
-    def test_engines_agree(self, shape, num_negatives):
+    def test_engines_agree(self, shape, num_negatives, eval_sampler):
         preset = get_preset(shape)
         dataset = generate_synthetic_dataset(
             SyntheticConfig.from_preset(preset),
@@ -182,12 +227,104 @@ class TestRealisticShapes:
             dataset,
             _mf_score_block(dataset, seed=3),
             block_size=64,
+            eval_sampler=eval_sampler,
             test_items=_test_items(dataset, rng),
             target_items=_targets(dataset, 5),
             num_negatives=num_negatives,
         )
         _assert_identical(loop_result, vectorized_result)
         assert loop_result.accuracy.num_evaluated_users > 0
+
+
+class TestBatchedStreamContract:
+    """Direct contract tests of the ``"batched"`` evaluation stream."""
+
+    @pytest.fixture()
+    def setup(self):
+        rng = np.random.default_rng(31)
+        num_users, num_items = 40, 60
+        pairs = [
+            (user, item)
+            for user in range(num_users)
+            for item in rng.choice(num_items, size=int(rng.integers(0, 9)), replace=False)
+        ]
+        dataset = InteractionDataset(num_users, num_items, pairs, name="stream")
+        test_items = rng.integers(0, num_items, size=num_users)
+        test_items[::5] = -1
+        return dataset, test_items
+
+    def test_stream_differs_from_per_user(self, setup):
+        """``eval_sampler`` switches realizations, like the round sampler."""
+        dataset, test_items = setup
+        score_block = _mf_score_block(dataset, seed=9)
+        results = {
+            sampler: evaluate_snapshot(
+                score_block,
+                dataset,
+                test_items=test_items,
+                num_negatives=25,
+                rng=np.random.default_rng(3),
+                eval_sampler=sampler,
+            )
+            for sampler in ("per-user", "batched")
+        }
+        assert (
+            results["per-user"].accuracy.ndcg_at_10
+            != results["batched"].accuracy.ndcg_at_10
+        )
+
+    def test_first_round_draws_are_partition_independent(self, setup):
+        """``rng.integers`` consumes the bit stream sequentially, so when
+        every row finishes in its first oversampled rejection round (the
+        common regime) the concatenated candidate stream — and therefore the
+        realization — does not depend on where the block boundaries fall.
+        Same seed + same block size is always bit-identical."""
+        dataset, test_items = setup
+        score_block = _mf_score_block(dataset, seed=9)
+
+        def run(block_size):
+            return evaluate_snapshot(
+                score_block,
+                dataset,
+                test_items=test_items,
+                num_negatives=25,
+                rng=np.random.default_rng(3),
+                eval_sampler="batched",
+                block_size=block_size,
+            )
+
+        reference = run(16)
+        assert run(16).accuracy == reference.accuracy
+        for block_size in (1, 7, 13, dataset.num_users):
+            assert run(block_size).accuracy == reference.accuracy
+
+    def test_draw_reproducible_and_engine_free(self, setup):
+        """The stacked draw itself: same seed -> same CSR, contiguous and
+        gathered user blocks give the same realization."""
+        from repro.metrics.accuracy import draw_ranking_negatives_batched
+
+        dataset, test_items = setup
+        store = dataset.interaction_store()
+        for users in (
+            np.arange(8, 24, dtype=np.int64),  # contiguous: mask_block view path
+            np.arange(3, 33, 2, dtype=np.int64),  # strided: mask_rows gather path
+        ):
+            first = draw_ranking_negatives_batched(
+                np.random.default_rng(7), store, users, test_items[users], 30
+            )
+            second = draw_ranking_negatives_batched(
+                np.random.default_rng(7), store, users.tolist(), test_items[users], 30
+            )
+            np.testing.assert_array_equal(first[0], second[0])
+            np.testing.assert_array_equal(first[1], second[1])
+            counts = np.diff(first[1])
+            valid = test_items[users] >= 0
+            assert np.all(counts[valid] == 30)
+            assert np.all(counts[~valid] == 0)
+            for local, user in enumerate(users):
+                segment = first[0][first[1][local] : first[1][local + 1]]
+                assert not store.mask_row(user)[segment].any()
+                assert not np.any(segment == test_items[user])
 
 
 class TestValidation:
@@ -199,6 +336,16 @@ class TestValidation:
                 dataset,
                 test_items=np.array([1, 1]),
                 engine="warp",
+            )
+
+    def test_unknown_eval_sampler_rejected(self):
+        dataset = InteractionDataset(2, 3, [(0, 0)])
+        with pytest.raises(ModelError):
+            evaluate_snapshot(
+                lambda users: np.zeros((users.shape[0], 3)),
+                dataset,
+                test_items=np.array([1, 1]),
+                eval_sampler="magic",
             )
 
     def test_bad_block_size_rejected(self):
@@ -235,6 +382,102 @@ class TestValidation:
         assert not calls
 
 
+class TestGenericScorerFallback:
+    """``evaluate_snapshot`` through the generic ``Recommender.score_block``.
+
+    A custom scorer that only implements ``score_items`` must work through
+    the base class's row-by-row ``score_block`` fallback, and — when its
+    per-row arithmetic matches MF exactly — must reproduce the MF path's
+    metrics.  Integer-valued factors keep every dot product exact, so the
+    row-by-row fallback (vector-matrix products) and the MF block path (one
+    matrix-matrix product) cannot drift apart in floating point.
+    """
+
+    @pytest.fixture()
+    def setup(self):
+        from repro.models.base import Recommender
+
+        rng = np.random.default_rng(41)
+        num_users, num_items, num_factors = 18, 26, 6
+        user_factors = rng.integers(-3, 4, size=(num_users, num_factors)).astype(np.float64)
+        item_factors = rng.integers(-3, 4, size=(num_items, num_factors)).astype(np.float64)
+
+        class DotScorer(Recommender):
+            """Minimal custom scorer: ``score_items`` only, no overrides."""
+
+            @property
+            def num_users(self):
+                return num_users
+
+            @property
+            def num_items(self):
+                return num_items
+
+            @property
+            def num_factors(self):
+                return num_factors
+
+            def score_items(self, user_vector, items=None):
+                scores = item_factors @ np.asarray(user_vector, dtype=np.float64)
+                if items is None:
+                    return scores
+                return scores[np.asarray(items, dtype=np.int64)]
+
+        pairs = [
+            (user, item)
+            for user in range(num_users)
+            for item in rng.choice(num_items, size=3, replace=False)
+        ]
+        dataset = InteractionDataset(num_users, num_items, pairs, name="fallback")
+        test_items = rng.integers(0, num_items, size=num_users)
+        test_items[::4] = -1
+        return DotScorer(), user_factors, item_factors, dataset, test_items
+
+    @pytest.mark.parametrize("num_negatives,eval_sampler", PROTOCOL_GRID)
+    def test_fallback_matches_mf_path(self, setup, num_negatives, eval_sampler):
+        scorer, user_factors, item_factors, dataset, test_items = setup
+        model = MatrixFactorizationModel(
+            dataset.num_users, dataset.num_items, user_factors.shape[1], rng=0
+        )
+        model.user_factors = user_factors.copy()
+        model.item_factors = item_factors.copy()
+        kwargs = dict(
+            test_items=test_items,
+            target_items=_targets(dataset, 4),
+            num_negatives=num_negatives,
+            eval_sampler=eval_sampler,
+            block_size=5,
+        )
+        results = {}
+        for name, score_block in (
+            ("fallback", lambda users: scorer.score_block(user_factors[users])),
+            ("mf", lambda users: model.score_block(model.user_factors[users])),
+        ):
+            for engine in ("loop", "vectorized"):
+                results[(name, engine)] = evaluate_snapshot(
+                    score_block,
+                    dataset,
+                    engine=engine,
+                    rng=np.random.default_rng(19),
+                    **kwargs,
+                )
+        reference = results[("mf", "loop")]
+        for key, result in results.items():
+            assert result.accuracy == reference.accuracy, key
+            assert result.exposure == reference.exposure, key
+
+    def test_fallback_accepts_single_row_blocks(self, setup):
+        scorer, user_factors, _, dataset, test_items = setup
+        result = evaluate_snapshot(
+            lambda users: scorer.score_block(user_factors[users]),
+            dataset,
+            test_items=test_items,
+            num_negatives=None,
+            block_size=1,
+        )
+        assert result.accuracy.num_evaluated_users > 0
+
+
 class TestSimulationIntegration:
     """`FederatedConfig.eval_engine` end to end, MF and MLP-scorer models."""
 
@@ -252,12 +495,13 @@ class TestSimulationIntegration:
         targets = np.array([0, 1], dtype=np.int64)
         return dataset, test_items, targets
 
-    def _run(self, dataset, test_items, targets, eval_engine, **config_kwargs):
+    def _run(self, dataset, test_items, targets, eval_engine, eval_sampler="per-user", **config_kwargs):
         config = FederatedConfig(
             num_factors=8,
             clients_per_round=8,
             num_epochs=4,
             eval_engine=eval_engine,
+            eval_sampler=eval_sampler,
             **config_kwargs,
         )
         simulation = FederatedSimulation(
@@ -271,16 +515,19 @@ class TestSimulationIntegration:
         )
         return simulation.run()
 
+    @pytest.mark.parametrize("eval_sampler", ["per-user", "batched"])
     @pytest.mark.parametrize("use_scorer", [False, True])
     def test_histories_identical_across_eval_engines(
-        self, small_setup, use_scorer
+        self, small_setup, use_scorer, eval_sampler
     ):
         dataset, test_items, targets = small_setup
         loop_run = self._run(
-            dataset, test_items, targets, "loop", use_learnable_scorer=use_scorer
+            dataset, test_items, targets, "loop", eval_sampler,
+            use_learnable_scorer=use_scorer,
         )
         vectorized_run = self._run(
-            dataset, test_items, targets, "vectorized", use_learnable_scorer=use_scorer
+            dataset, test_items, targets, "vectorized", eval_sampler,
+            use_learnable_scorer=use_scorer,
         )
         assert len(loop_run.history) == len(vectorized_run.history)
         for loop_epoch, vectorized_epoch in zip(
@@ -289,6 +536,21 @@ class TestSimulationIntegration:
             assert loop_epoch.training_loss == vectorized_epoch.training_loss
             assert loop_epoch.accuracy == vectorized_epoch.accuracy
             assert loop_epoch.exposure == vectorized_epoch.exposure
+
+    def test_eval_sampler_switch_changes_only_sampled_metrics(self, small_setup):
+        """Training is untouched by the evaluation stream: losses match
+        exactly across ``eval_sampler`` values, only the sampled accuracy
+        realization moves."""
+        dataset, test_items, targets = small_setup
+        per_user = self._run(dataset, test_items, targets, "vectorized", "per-user")
+        batched = self._run(dataset, test_items, targets, "vectorized", "batched")
+        for a, b in zip(per_user.history.records, batched.history.records):
+            assert a.training_loss == b.training_loss
+            assert a.exposure == b.exposure  # full-rank exposure: stream-free
+        assert (
+            per_user.final_hr_at_10 != batched.final_hr_at_10
+            or per_user.accuracy.ndcg_at_10 != batched.accuracy.ndcg_at_10
+        )
 
     def test_full_rank_histories_identical(self, small_setup):
         dataset, test_items, targets = small_setup

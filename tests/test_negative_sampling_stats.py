@@ -1,12 +1,17 @@
-"""Statistical and contract tests for the two negative-sampling engines.
+"""Statistical and contract tests for the negative-sampling engines.
 
-Both engines claim the same distribution — an exact uniform draw without
-replacement from the complement of the user's positives — while consuming
-different RNG streams.  These tests check the distributional claim
+The two *training* engines claim the same distribution — an exact uniform
+draw without replacement from the complement of the user's positives — while
+consuming different RNG streams.  These tests check the distributional claim
 (chi-square uniformity over the item catalog), the hard constraints
 (positives never sampled, no duplicates, counts capped at the complement
 size), and fixed-seed reproducibility, parametrized over both engines and
 over empty / sparse / dense user histories.
+
+The *evaluation* side's batched ranking stream
+(:func:`sample_ranking_negatives_batched`, drawn **with** replacement and
+excluding each row's test item) gets the same treatment: uniformity over the
+free items, positives/test-item never sampled, and per-seed reproducibility.
 """
 
 from __future__ import annotations
@@ -19,6 +24,7 @@ from repro.data.dataset import InteractionDataset
 from repro.data.negative_sampling import (
     SAMPLER_ENGINES,
     NegativeSampler,
+    sample_ranking_negatives_batched,
     sample_uniform_negatives,
     sample_uniform_negatives_batched,
 )
@@ -135,6 +141,111 @@ class TestBatchedSpecifics:
         snapshot = masks.copy()
         sample_uniform_negatives_batched(rng, NUM_ITEMS, np.array([20]), masks)
         np.testing.assert_array_equal(masks, snapshot)
+
+
+class TestBatchedRankingStream:
+    """The evaluation side's stacked with-replacement draw."""
+
+    def _masks(self) -> tuple[np.ndarray, np.ndarray]:
+        masks = np.stack([_mask(h) for h in HISTORIES.values()])
+        excluded = np.array([5, 9, -1], dtype=np.int64)  # dense row: no exclusion
+        return masks, excluded
+
+    def test_positives_and_test_item_never_sampled(self):
+        masks, excluded = self._masks()
+        rng = np.random.default_rng(21)
+        for _ in range(50):
+            values, offsets = sample_ranking_negatives_batched(
+                rng, NUM_ITEMS, np.full(3, 7, dtype=np.int64), masks, excluded
+            )
+            for row, positives in enumerate(HISTORIES.values()):
+                segment = values[offsets[row] : offsets[row + 1]]
+                assert not np.isin(segment, positives).any()
+                assert not np.any(segment == excluded[row])
+
+    def test_counts_with_replacement_and_saturated_rows(self):
+        """Non-saturated rows get their full request (duplicates allowed);
+        rows whose positives + test item cover the catalog get zero."""
+        positives = np.arange(NUM_ITEMS - 1, dtype=np.int64)  # one free item
+        masks = np.stack([_mask(positives), _mask(positives), _mask(HISTORIES["sparse"])])
+        # Row 0's single free item is also its test item -> saturated.
+        excluded = np.array([NUM_ITEMS - 1, -1, 17], dtype=np.int64)
+        values, offsets = sample_ranking_negatives_batched(
+            np.random.default_rng(22), NUM_ITEMS, np.full(3, 9, dtype=np.int64), masks, excluded
+        )
+        counts = np.diff(offsets)
+        assert counts.tolist() == [0, 9, 9]
+        # Row 1 has one free item: all nine draws are that item (replacement).
+        np.testing.assert_array_equal(
+            values[offsets[1] : offsets[2]], np.full(9, NUM_ITEMS - 1)
+        )
+
+    def test_fixed_seed_reproducibility(self):
+        masks, excluded = self._masks()
+        counts = np.array([7, 4, 11], dtype=np.int64)
+        first = sample_ranking_negatives_batched(
+            np.random.default_rng(23), NUM_ITEMS, counts, masks, excluded
+        )
+        second = sample_ranking_negatives_batched(
+            np.random.default_rng(23), NUM_ITEMS, counts, masks, excluded
+        )
+        np.testing.assert_array_equal(first[0], second[0])
+        np.testing.assert_array_equal(first[1], second[1])
+
+    def test_chi_square_uniform_over_free_items(self):
+        """Every accepted draw is uniform over the row's free items (the
+        catalog minus positives minus the test item)."""
+        positives = np.array([0, 7, 13, 21, 30, 44, 50, 55, 58, 59], dtype=np.int64)
+        test_item = 33
+        masks = _mask(positives)[None, :]
+        rng = np.random.default_rng(24)
+        counts = np.zeros(NUM_ITEMS, dtype=np.int64)
+        for _ in range(2000):
+            values, _ = sample_ranking_negatives_batched(
+                rng, NUM_ITEMS, np.array([4]), masks, np.array([test_item])
+            )
+            counts[values] += 1
+        assert counts[positives].sum() == 0
+        assert counts[test_item] == 0
+        free = np.setdiff1d(np.arange(NUM_ITEMS), np.append(positives, test_item))
+        _, p_value = stats.chisquare(counts[free])
+        assert p_value > 1e-3, f"uniformity rejected (p={p_value:.2e})"
+
+    def test_zero_count_rows_consume_no_randomness(self):
+        """Rows requesting nothing (skipped users) draw nothing: the stream
+        realization of the remaining rows is unchanged."""
+        masks, excluded = self._masks()
+        with_skip = sample_ranking_negatives_batched(
+            np.random.default_rng(25), NUM_ITEMS,
+            np.array([6, 0, 6]), masks, excluded,
+        )
+        # Note: identical masks layout, the middle row simply requests 0.
+        without = sample_ranking_negatives_batched(
+            np.random.default_rng(25), NUM_ITEMS,
+            np.array([6, 6], dtype=np.int64),
+            masks[[0, 2]], excluded[[0, 2]],
+        )
+        np.testing.assert_array_equal(with_skip[0], without[0])
+
+    def test_rejects_bad_shapes(self):
+        masks, excluded = self._masks()
+        with pytest.raises(DataError):
+            sample_ranking_negatives_batched(
+                np.random.default_rng(26), NUM_ITEMS, np.array([1, 2]), masks, excluded
+            )
+        with pytest.raises(DataError):
+            sample_ranking_negatives_batched(
+                np.random.default_rng(26), NUM_ITEMS, np.array([-1, 1, 1]), masks, excluded
+            )
+        with pytest.raises(DataError):
+            sample_ranking_negatives_batched(
+                np.random.default_rng(26), NUM_ITEMS, np.array([1, 1, 1]), masks,
+                np.array([0, NUM_ITEMS, 0]),
+            )
+        with pytest.raises(DataError):
+            sample_ranking_negatives_batched(
+                np.random.default_rng(26), NUM_ITEMS, np.array([1, 1]), masks, excluded[:2]
+            )
 
 
 @pytest.mark.parametrize("engine", SAMPLER_ENGINES)

@@ -14,6 +14,7 @@ from repro.data.splits import leave_one_out_split
 from repro.federated.privacy import clip_rows
 from repro.federated.updates import ClientUpdate
 from repro.federated.aggregation import MedianAggregator, SumAggregator, TrimmedMeanAggregator
+from repro.metrics.evaluation import evaluate_snapshot
 from repro.metrics.ranking import rank_of_items, top_k_items
 from repro.models.losses import bpr_loss, bpr_loss_and_gradients, sigmoid
 
@@ -145,6 +146,87 @@ class TestRankingProperties:
     def test_top1_item_has_rank_one(self, scores):
         best = int(np.argmax(scores))
         assert rank_of_items(scores, np.array([best]))[0] == 1
+
+
+# --------------------------------------------------------------------- #
+# Evaluation-stream invariants
+# --------------------------------------------------------------------- #
+class TestEvaluationStreamProperties:
+    """Random interaction matrices through the {engine} x {stream} grid.
+
+    For any interaction matrix, any scores (including degenerate all-ties)
+    and any block partitioning (including single-user blocks), the loop and
+    vectorized engines must report identical sampled-protocol metrics under
+    a shared stream seed — for *both* evaluation streams, since each stream
+    is consumed through the same draws by both engines.
+    """
+
+    @given(
+        interactions=interaction_lists,
+        seed=st.integers(0, 10_000),
+        block_size=st.sampled_from([1, 3, 7, 64]),
+        all_ties=st.booleans(),
+        eval_sampler=st.sampled_from(["per-user", "batched"]),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_engines_agree_on_sampled_ranks(
+        self, interactions, seed, block_size, all_ties, eval_sampler
+    ):
+        num_users, num_items = 15, 20
+        dataset = InteractionDataset(num_users, num_items, interactions)
+        rng = np.random.default_rng(seed)
+        scores = (
+            np.zeros((num_users, num_items))
+            if all_ties
+            else rng.normal(size=(num_users, num_items))
+        )
+        test_items = rng.integers(0, num_items, size=num_users)
+        test_items[rng.random(num_users) < 0.25] = -1
+        score_block = lambda users: scores[users]  # noqa: E731
+        results = [
+            evaluate_snapshot(
+                score_block,
+                dataset,
+                test_items=test_items,
+                num_negatives=7,
+                rng=np.random.default_rng(seed + 1),
+                engine=engine,
+                eval_sampler=eval_sampler,
+                block_size=block_size,
+            )
+            for engine in ("loop", "vectorized")
+        ]
+        assert results[0].accuracy == results[1].accuracy
+
+    @given(interactions=interaction_lists, seed=st.integers(0, 10_000))
+    @settings(max_examples=25, deadline=None)
+    def test_streams_share_support(self, interactions, seed):
+        """Whatever the stream, sampled metrics stay in [0, 1] and evaluate
+        the same user population."""
+        num_users, num_items = 15, 20
+        dataset = InteractionDataset(num_users, num_items, interactions)
+        rng = np.random.default_rng(seed)
+        scores = rng.normal(size=(num_users, num_items))
+        test_items = rng.integers(0, num_items, size=num_users)
+        score_block = lambda users: scores[users]  # noqa: E731
+        reports = {
+            sampler: evaluate_snapshot(
+                score_block,
+                dataset,
+                test_items=test_items,
+                num_negatives=11,
+                rng=np.random.default_rng(seed),
+                eval_sampler=sampler,
+            ).accuracy
+            for sampler in ("per-user", "batched")
+        }
+        for report in reports.values():
+            assert 0.0 <= report.hr_at_10 <= 1.0
+            assert 0.0 <= report.ndcg_at_10 <= 1.0
+        assert (
+            reports["per-user"].num_evaluated_users
+            == reports["batched"].num_evaluated_users
+        )
 
 
 # --------------------------------------------------------------------- #
