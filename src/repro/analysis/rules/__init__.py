@@ -1,0 +1,36 @@
+"""Built-in ``repro-lint`` rules.
+
+Importing this package registers every rule in
+:data:`repro.analysis.core.RULES`:
+
+========  =======================  ====================================================
+Rule id   Name                     Contract it protects
+========  =======================  ====================================================
+``R1``    rng-discipline           all randomness routes through :mod:`repro.rng`
+``R2``    switch-parity            every switch realization has dispatch + equivalence
+                                   parametrization + a golden seed-history case
+``R3``    densification-guard      store-backed masks / sparse updates stay sparse
+``R4``    bit-exactness            equivalence & golden suites assert exact equality
+``R5``    config-cli-docs-sync     switch fields exist in ExperimentConfig, the CLI
+                                   and the README engine table
+``R6``    export-consistency       ``__all__`` names exist and are unique
+``R7``    typed-signatures         library signatures fully annotated, no bare generics
+========  =======================  ====================================================
+
+Plus the runner-level pseudo-rules ``SYNTAX`` (unparsable file) and ``SUP``
+(suppression hygiene), which cannot be suppressed.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.rules import (  # noqa: F401  (imported for registration)
+    densify,
+    docsync,
+    exactness,
+    exports,
+    parity,
+    rng,
+    typing,
+)
+
+__all__ = ["densify", "docsync", "exactness", "exports", "parity", "rng", "typing"]

@@ -1,0 +1,116 @@
+"""R5 — config–CLI–docs sync.
+
+A switch that exists only in ``FederatedConfig`` is invisible: users drive
+experiments through :class:`~repro.experiments.config.ExperimentConfig`,
+the ``fedrecattack`` CLI and the README's engine table.  This rule keeps
+the four surfaces in lock-step for every user-facing switch field — the
+literal-realization switches extracted for R2 plus the fields listed in
+:data:`EXTRA_SWITCH_FIELDS` (numeric switches like ``fuse_rounds`` that
+have no literal realization tuple):
+
+* the field exists on ``ExperimentConfig`` (the experiment layer forwards
+  it to the protocol layer),
+* ``src/repro/cli.py`` registers the matching ``--flag``,
+* a README table row documents the field.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis import project as model
+from repro.analysis.core import Project, Rule, SourceFile, Violation, register
+
+__all__ = ["ConfigCliDocsSyncRule", "EXTRA_SWITCH_FIELDS"]
+
+#: User-facing switch fields without a literal realization tuple.
+EXTRA_SWITCH_FIELDS = ("fuse_rounds",)
+
+
+@register
+class ConfigCliDocsSyncRule(Rule):
+    id = "R5"
+    name = "config-cli-docs-sync"
+    summary = (
+        "every user-facing switch field has an ExperimentConfig mirror, a CLI "
+        "flag and a README engine-table row"
+    )
+
+    def check(self, project: Project) -> Iterator[Violation]:
+        config = project.source(model.FEDERATED_CONFIG)
+        if config is None:
+            return
+        switch_names = [field.name for field in model.extract_switch_fields(config)]
+        declared = model.class_field_names(config, "FederatedConfig")
+        for extra in EXTRA_SWITCH_FIELDS:
+            if extra in declared and extra not in switch_names:
+                switch_names.append(extra)
+        if not switch_names:
+            return
+        lines = _field_lines(config)
+
+        experiment = project.source(model.EXPERIMENT_CONFIG)
+        experiment_fields = (
+            model.class_field_names(experiment, "ExperimentConfig")
+            if experiment is not None
+            else None
+        )
+        cli = project.source(model.CLI_MODULE)
+        flags = model.cli_flags(cli) if cli is not None else None
+        readme_path = project.root / model.README
+        readme_text = (
+            readme_path.read_text(encoding="utf-8") if readme_path.is_file() else None
+        )
+
+        for name in switch_names:
+            line = lines.get(name, 1)
+            if experiment_fields is None:
+                yield self._violation(
+                    config, line, f"cannot verify {name!r}: {model.EXPERIMENT_CONFIG} not found"
+                )
+            elif name not in experiment_fields:
+                yield self._violation(
+                    config,
+                    line,
+                    f"switch field {name!r} has no ExperimentConfig mirror field",
+                )
+            flag = "--" + name.replace("_", "-")
+            if flags is None:
+                yield self._violation(
+                    config, line, f"cannot verify {flag!r}: {model.CLI_MODULE} not found"
+                )
+            elif flag not in flags:
+                yield self._violation(
+                    config,
+                    line,
+                    f"switch field {name!r} has no CLI flag {flag!r} in {model.CLI_MODULE}",
+                )
+            if readme_text is None:
+                yield self._violation(
+                    config, line, f"cannot verify README row for {name!r}: README.md not found"
+                )
+            elif not model.readme_documents_field(readme_text, name):
+                yield self._violation(
+                    config,
+                    line,
+                    f"switch field {name!r} has no README engine-table row "
+                    "(a markdown table line naming the field)",
+                )
+
+    def _violation(self, config: SourceFile, line: int, message: str) -> Violation:
+        return Violation(rule=self.id, path=config.rel, line=line, message=message)
+
+
+def _field_lines(config: SourceFile) -> dict[str, int]:
+    """Line numbers of ``FederatedConfig``'s annotated fields."""
+    assert config.tree is not None
+    for node in ast.walk(config.tree):
+        if isinstance(node, ast.ClassDef) and node.name == "FederatedConfig":
+            return {
+                statement.target.id: statement.lineno
+                for statement in node.body
+                if isinstance(statement, ast.AnnAssign)
+                and isinstance(statement.target, ast.Name)
+            }
+    return {}

@@ -29,6 +29,7 @@ from repro.exceptions import AttackError
 from repro.federated.client import MaliciousClient
 from repro.federated.updates import ClientUpdate
 from repro.models.neural import MLPScorer
+from repro.rng import ensure_rng
 
 __all__ = ["AttackContext", "Attack", "NoAttack", "ProfileInjectionAttack"]
 
@@ -59,7 +60,9 @@ class AttackContext:
         data-poisoning baselines (P1, P2) read this, matching their original
         threat model; every federated attack must ignore it.
     rng:
-        Attack-private randomness.
+        Attack-private randomness.  The simulation always passes the named
+        ``"attack"`` stream; the fallback draws a fresh generator through
+        :func:`repro.rng.ensure_rng` for ad-hoc use.
     engine:
         The computation engine the attack should use for its own hot loops,
         propagated from :attr:`repro.federated.config.FederatedConfig.engine`
@@ -88,7 +91,7 @@ class AttackContext:
     clip_norm: float
     item_popularity: np.ndarray | None = None
     full_train: InteractionDataset | None = None
-    rng: np.random.Generator = field(default_factory=np.random.default_rng)
+    rng: np.random.Generator = field(default_factory=lambda: ensure_rng(None))
     engine: str = "vectorized"
     sampler: str = "permutation"
 

@@ -10,12 +10,15 @@ and baselines need.
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator, Sequence
+from typing import TYPE_CHECKING, Iterable, Iterator, Sequence
 
 import numpy as np
 from scipy import sparse
 
 from repro.exceptions import DataError
+
+if TYPE_CHECKING:
+    from repro.data.store import InteractionStore
 
 __all__ = ["InteractionDataset"]
 
@@ -172,7 +175,7 @@ class InteractionDataset:
             shape=(self._num_users, self._num_items),
         )
 
-    def interaction_store(self):
+    def interaction_store(self) -> InteractionStore:
         """The shared :class:`~repro.data.store.InteractionStore` of this dataset.
 
         Built on first access and cached, so the batched negative sampler,

@@ -124,12 +124,14 @@ def _try_load_real(name: str, data_dir: Path) -> InteractionDataset | None:
     return None
 
 
-def _from_raw_ids(users: list, items: list, name: str) -> InteractionDataset:
+def _from_raw_ids(
+    users: list[int | str], items: list[int | str], name: str
+) -> InteractionDataset:
     """Map arbitrary raw ids to contiguous indices and build the dataset."""
     if not users:
         raise DataError("no interactions parsed from file")
-    user_index: dict = {}
-    item_index: dict = {}
+    user_index: dict[int | str, int] = {}
+    item_index: dict[int | str, int] = {}
     pairs = np.empty((len(users), 2), dtype=np.int64)
     for row, (user, item) in enumerate(zip(users, items)):
         pairs[row, 0] = user_index.setdefault(user, len(user_index))

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import os
 from dataclasses import dataclass, field, replace
+from typing import Any
 
 from repro.exceptions import ConfigurationError
 from repro.federated.config import FederatedConfig
@@ -52,7 +53,7 @@ class ExperimentConfig:
     noise_scale: float = 0.0
     l2_reg: float = 0.0
     aggregator: str = "sum"
-    aggregator_options: dict = field(default_factory=dict)
+    aggregator_options: dict[str, Any] = field(default_factory=dict)
     engine: str = "vectorized"
     sampler: str = "permutation"
     eval_engine: str = "vectorized"
@@ -63,7 +64,7 @@ class ExperimentConfig:
     evaluate_every: int | None = None
     eval_num_negatives: int | None = 99
     seed: int = 0
-    attack_options: dict = field(default_factory=dict)
+    attack_options: dict[str, Any] = field(default_factory=dict)
 
     def validate(self) -> None:
         """Raise :class:`ConfigurationError` on inconsistent settings."""
@@ -106,7 +107,7 @@ class ExperimentConfig:
             scorer_hidden_units=self.scorer_hidden_units,
         )
 
-    def with_overrides(self, **kwargs) -> "ExperimentConfig":
+    def with_overrides(self, **kwargs: Any) -> "ExperimentConfig":
         """A copy of this configuration with the given fields replaced."""
         return replace(self, **kwargs)
 

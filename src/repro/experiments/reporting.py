@@ -9,6 +9,7 @@ the paper.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Any
 
 __all__ = ["TableResult", "format_table"]
 
@@ -52,7 +53,7 @@ class TableResult:
     title: str
     headers: list[str]
     rows: list[list[str]] = field(default_factory=list)
-    raw: dict = field(default_factory=dict)
+    raw: dict[str, Any] = field(default_factory=dict)
 
     def to_text(self) -> str:
         """The table rendered as fixed-width text."""

@@ -21,7 +21,7 @@ from repro.data.splits import leave_one_out_split
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.registry import build_attack
 from repro.federated.history import TrainingHistory
-from repro.federated.simulation import FederatedSimulation
+from repro.federated.simulation import FederatedSimulation, UpdateObserver
 from repro.metrics.accuracy import AccuracyReport
 from repro.metrics.exposure import ExposureReport
 from repro.rng import SeedSequenceFactory
@@ -61,7 +61,9 @@ class ExperimentResult:
         return self.accuracy.hr_at_10 if self.accuracy else 0.0
 
 
-def run_experiment(config: ExperimentConfig, update_observer=None) -> ExperimentResult:
+def run_experiment(
+    config: ExperimentConfig, update_observer: UpdateObserver | None = None
+) -> ExperimentResult:
     """Run one federated-training experiment described by ``config``.
 
     This is the high-level "config in, numbers out" entry point used by the

@@ -10,11 +10,14 @@ setup.
 
 from __future__ import annotations
 
+from typing import Any
+
 from repro.data.loaders import load_dataset
 from repro.data.stats import compute_statistics
 from repro.experiments.config import BENCH_PROFILE, ExperimentConfig, ExperimentProfile
 from repro.experiments.reporting import TableResult
 from repro.experiments.runner import ExperimentResult, run_experiment
+from repro.federated.updates import ClientUpdate
 from repro.rng import SeedSequenceFactory
 
 __all__ = [
@@ -34,7 +37,7 @@ _ALL_DATASETS = ("ml-100k", "ml-1m", "steam-200k")
 
 
 def _configure(
-    profile: ExperimentProfile, dataset: str, attack: str, **overrides
+    profile: ExperimentProfile, dataset: str, attack: str, **overrides: Any
 ) -> ExperimentConfig:
     """Build an experiment configuration at the profile's scale."""
     config = ExperimentConfig(dataset=dataset, attack=attack, **overrides)
@@ -90,7 +93,7 @@ def _single_parameter_sweep(
     profile: ExperimentProfile,
     title: str,
     parameter: str,
-    values: tuple,
+    values: tuple[float, ...],
     label: str,
     dataset: str = "ml-100k",
 ) -> TableResult:
@@ -331,9 +334,9 @@ def detection_table(
     rows: list[list[str]] = []
     raw: dict[str, dict[str, dict[str, float]]] = {}
     for attack in attacks:
-        observed: list[list] = []
+        observed: list[list[ClientUpdate]] = []
 
-        def observer(round_index: int, updates: list) -> None:
+        def observer(round_index: int, updates: list[ClientUpdate]) -> None:
             if round_index % round_stride == 0:
                 observed.append([update.copy() for update in updates])
 

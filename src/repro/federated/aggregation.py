@@ -27,6 +27,7 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
+from typing import Any, Sequence
 
 import numpy as np
 
@@ -60,14 +61,19 @@ class AggregationResult:
     theta_gradient: np.ndarray | None
 
 
-def _as_round(updates, num_factors: int) -> SparseRoundUpdates | FactoredRoundUpdates:
+def _as_round(
+    updates: SparseRoundUpdates | FactoredRoundUpdates | Sequence[ClientUpdate],
+    num_factors: int,
+) -> SparseRoundUpdates | FactoredRoundUpdates:
     """Normalise an update list to a round structure (lazy forms pass through)."""
     if isinstance(updates, (SparseRoundUpdates, FactoredRoundUpdates)):
         return updates
     return SparseRoundUpdates.from_client_updates(updates, num_factors=num_factors)
 
 
-def _as_csr(round_updates) -> SparseRoundUpdates:
+def _as_csr(
+    round_updates: SparseRoundUpdates | FactoredRoundUpdates,
+) -> SparseRoundUpdates:
     """Materialise a (possibly factored) round into the CSR row form."""
     if isinstance(round_updates, FactoredRoundUpdates):
         return round_updates.materialize()
@@ -275,7 +281,7 @@ _AGGREGATORS = {
 }
 
 
-def make_aggregator(name: str, **options) -> Aggregator:
+def make_aggregator(name: str, **options: Any) -> Aggregator:
     """Instantiate an aggregation rule by name."""
     key = name.lower()
     if key not in _AGGREGATORS:

@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Any
 
 from repro.exceptions import ConfigurationError
 
@@ -118,7 +119,7 @@ class FederatedConfig:
     init_scale: float = 0.01
     resample_negatives_each_epoch: bool = True
     aggregator: str = "sum"
-    aggregator_options: dict = field(default_factory=dict)
+    aggregator_options: dict[str, Any] = field(default_factory=dict)
     use_learnable_scorer: bool = False
     scorer_hidden_units: int = 32
     engine: str = "vectorized"

@@ -39,6 +39,8 @@ does not support fusion).
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 import numpy as np
 
 from repro.data.negative_sampling import sample_uniform_negatives_batched
@@ -55,6 +57,9 @@ from repro.models.losses import (
     sigmoid,
 )
 from repro.models.neural import MLPScorer
+
+if TYPE_CHECKING:
+    from repro.data.store import InteractionStore
 
 __all__ = ["BatchedRoundTrainer"]
 
@@ -89,7 +94,7 @@ class BatchedRoundTrainer:
         privacy: GaussianNoiseMechanism,
         num_items: int,
         round_rng: np.random.Generator | None = None,
-        store=None,
+        store: InteractionStore | None = None,
     ) -> None:
         if config.sampler == "batched" and round_rng is None:
             raise FederationError("the batched sampler requires a round_rng stream")
@@ -130,6 +135,9 @@ class BatchedRoundTrainer:
                     np.array([benign_ids[i] for i in fresh], dtype=np.int64)
                 )
             else:
+                # repro-lint: disable=R3 — no-store fallback: without a shared
+                # InteractionStore there is no cached mask matrix to gather
+                # from, so the per-client rows must be stacked once here.
                 masks = np.stack([clients[i].positive_mask for i in fresh])
             # Either way ``masks`` is a fresh private array, so the sampler
             # may use it as its scratch bitmap instead of copying again.
@@ -324,7 +332,7 @@ class BatchedRoundTrainer:
         positives: np.ndarray,
         negatives: np.ndarray,
         scorer: MLPScorer,
-    ):
+    ) -> tuple[BatchedBPRGradients, np.ndarray]:
         """Batched BPR-through-the-scorer gradients for a whole round.
 
         Mirrors :meth:`Client._scorer_gradients` client by client: the same

@@ -27,7 +27,7 @@ Three representations exist:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, Sequence
+from typing import Any, Iterable, Sequence
 
 import numpy as np
 from scipy import sparse as _sparse
@@ -87,7 +87,7 @@ class ClientUpdate:
     theta_gradient: np.ndarray | None = None
     loss: float = 0.0
     is_malicious: bool = False
-    metadata: dict = field(default_factory=dict)
+    metadata: dict[str, Any] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
         self.item_ids = np.asarray(self.item_ids, dtype=np.int64)
@@ -178,7 +178,7 @@ class SparseRoundUpdates:
     malicious_mask: np.ndarray
     theta_gradients: np.ndarray | None = None
     theta_mask: np.ndarray | None = None
-    metadata: list[dict] = field(default_factory=list)
+    metadata: list[dict[str, Any]] = field(default_factory=list)
 
     def __post_init__(self) -> None:
         self.client_ids = np.asarray(self.client_ids, dtype=np.int64)
@@ -223,7 +223,7 @@ class SparseRoundUpdates:
         start, stop = self.client_offsets[index], self.client_offsets[index + 1]
         return self.item_ids[start:stop], self.grad_rows[start:stop]
 
-    def client_metadata(self, index: int) -> dict:
+    def client_metadata(self, index: int) -> dict[str, Any]:
         """Metadata dictionary of client ``index`` (empty when absent)."""
         return self.metadata[index] if self.metadata else {}
 
@@ -342,7 +342,7 @@ class SparseRoundUpdates:
             if other.theta_gradients is not None:
                 theta_gradients[self.num_clients :] = other.theta_gradients
                 theta_mask[self.num_clients :] = other.theta_mask
-        metadata: list[dict] = []
+        metadata: list[dict[str, Any]] = []
         if self.metadata or other.metadata:
             metadata = [dict(self.client_metadata(i)) for i in range(self.num_clients)]
             metadata += [dict(other.client_metadata(i)) for i in range(other.num_clients)]
@@ -471,7 +471,7 @@ class FactoredRoundUpdates:
     ridge_matrix: np.ndarray | None = None
     theta_gradients: np.ndarray | None = None
     theta_mask: np.ndarray | None = None
-    metadata: list[dict] = field(default_factory=list)
+    metadata: list[dict[str, Any]] = field(default_factory=list)
     tail: SparseRoundUpdates | None = None
 
     def __post_init__(self) -> None:

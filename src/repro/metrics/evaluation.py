@@ -40,7 +40,7 @@ Equivalence contract with the loop engine (``engine="loop"`` here runs it):
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Sequence
+from typing import TYPE_CHECKING, Callable, Sequence
 
 import numpy as np
 
@@ -56,6 +56,9 @@ from repro.metrics.accuracy import (
 from repro.metrics.exposure import ExposureReport, _validate_targets, evaluate_exposure
 from repro.metrics.ranking import cumulative_discounts
 from repro.rng import ensure_rng
+
+if TYPE_CHECKING:
+    from repro.data.store import InteractionStore
 
 __all__ = [
     "EvaluationResult",
@@ -480,7 +483,7 @@ def _accuracy_block_sampled(
     k: int,
     num_negatives: int,
     generator: np.random.Generator,
-    store,
+    store: InteractionStore,
 ) -> tuple[int, np.ndarray]:
     """Sampled-protocol HR/NDCG contributions of one user block.
 
@@ -516,7 +519,7 @@ def _accuracy_block_sampled_batched(
     k: int,
     num_negatives: int,
     generator: np.random.Generator,
-    store,
+    store: InteractionStore,
 ) -> tuple[int, np.ndarray]:
     """Sampled-protocol HR/NDCG of one block under the batched stream.
 

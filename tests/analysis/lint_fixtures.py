@@ -1,0 +1,177 @@
+"""Fixture-project helpers for the ``repro-lint`` test suite.
+
+The analyzer's cross-file rules (switch parity, config–CLI–docs sync) are
+contracts over a whole tree, so the tests build miniature projects in
+``tmp_path`` and lint them.  :data:`CLEAN_TREE` is a minimal project that
+satisfies *every* rule; the negative tests each delete or corrupt exactly
+one leg of one contract and assert that precisely that leg fails — the
+"deleting a golden case is a red build" property the rules exist for.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable, Mapping
+
+import pytest
+
+from repro.analysis import Report, run_analysis
+
+_FEDERATED_CONFIG = '''\
+"""Protocol switches (fixture)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["FederatedConfig"]
+
+
+@dataclass
+class FederatedConfig:
+    engine: str = "vectorized"
+    sampler: str = "permutation"
+    fuse_rounds: int = 1
+
+    def validate(self) -> None:
+        if self.engine not in ("loop", "vectorized"):
+            raise ValueError(self.engine)
+        if self.sampler not in ("permutation", "batched"):
+            raise ValueError(self.sampler)
+'''
+
+_EXPERIMENT_CONFIG = '''\
+"""Experiment layer (fixture)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["ExperimentConfig"]
+
+
+@dataclass
+class ExperimentConfig:
+    engine: str = "vectorized"
+    sampler: str = "permutation"
+    fuse_rounds: int = 1
+'''
+
+_CLI = '''\
+"""CLI (fixture)."""
+
+from __future__ import annotations
+
+import argparse
+
+__all__ = ["build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--engine")
+    parser.add_argument("--sampler")
+    parser.add_argument("--fuse-rounds")
+    return parser
+'''
+
+_ENGINE = '''\
+"""Dispatch sites (fixture)."""
+
+from __future__ import annotations
+
+__all__ = ["train_round", "draw_negatives"]
+
+
+def train_round(engine: str) -> str:
+    if engine == "loop":
+        return "loop path"
+    if engine == "vectorized":
+        return "vectorized path"
+    raise ValueError(engine)
+
+
+def draw_negatives(sampler: str) -> str:
+    if sampler == "permutation":
+        return "per-client streams"
+    if sampler == "batched":
+        return "round stream"
+    raise ValueError(sampler)
+'''
+
+_EQUIVALENCE_SUITE = '''\
+"""Engine/sampler equivalence suite (fixture)."""
+
+ENGINES = ("loop", "vectorized")
+SAMPLERS = ("permutation", "batched")
+
+
+def test_parametrizations() -> None:
+    assert len(ENGINES) == 2
+    assert len(SAMPLERS) == 2
+'''
+
+_GOLDEN_CASES = '''\
+"""Golden case grid (fixture)."""
+
+GOLDEN_CASES = {
+    "loop-perm": {"engine": "loop", "sampler": "permutation"},
+    "vec-batched": {"engine": "vectorized", "sampler": "batched"},
+}
+'''
+
+_README = """\
+# Fixture project
+
+| Switch | CLI flag | Values |
+| --- | --- | --- |
+| `engine` | `--engine` | `loop`, `vectorized` |
+| `sampler` | `--sampler` | `permutation`, `batched` |
+| `fuse_rounds` | `--fuse-rounds` | positive int |
+"""
+
+#: A minimal project satisfying every repro-lint rule.
+CLEAN_TREE: dict[str, str] = {
+    "src/repro/federated/config.py": _FEDERATED_CONFIG,
+    "src/repro/experiments/config.py": _EXPERIMENT_CONFIG,
+    "src/repro/cli.py": _CLI,
+    "src/repro/federated/engine.py": _ENGINE,
+    "tests/test_federated_engine_equivalence.py": _EQUIVALENCE_SUITE,
+    "tests/golden/golden_cases.py": _GOLDEN_CASES,
+    "README.md": _README,
+}
+
+
+def write_tree(root: Path, files: Mapping[str, str]) -> Path:
+    """Write ``files`` (relative path -> content) under ``root``."""
+    for rel, content in files.items():
+        path = root / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(content, encoding="utf-8")
+    return root
+
+
+def lint(
+    root: Path,
+    paths: Iterable[str] = ("src", "tests"),
+    select: Iterable[str] | None = None,
+) -> Report:
+    """Run the analyzer over a fixture tree."""
+    return run_analysis(root, tuple(paths), select=select)
+
+
+def rules_hit(report: Report) -> set[str]:
+    return {violation.rule for violation in report.violations}
+
+
+def messages(report: Report) -> list[str]:
+    return [violation.format() for violation in report.violations]
+
+
+# Imported (not defined in a conftest.py: a `conftest` module here would
+# shadow the benchmarks/ one in pytest's flat prepend-mode namespace) by the
+# test modules that need a ready-made clean project.
+@pytest.fixture
+def clean_root(tmp_path: Path) -> Path:
+    """A fixture project that lints clean."""
+    return write_tree(tmp_path, CLEAN_TREE)

@@ -1,0 +1,70 @@
+"""R3 densification guard: no dense materialization outside the allowlist."""
+
+from __future__ import annotations
+
+from lint_fixtures import lint, messages, write_tree
+
+
+def _lint_file(tmp_path, rel: str, code: str):
+    write_tree(tmp_path, {rel: code})
+    return messages(lint(tmp_path, select=["R3"]))
+
+
+def test_toarray_flagged_in_library(tmp_path) -> None:
+    found = _lint_file(
+        tmp_path,
+        "src/repro/foo.py",
+        "def densify(matrix):\n    return matrix.toarray()\n",
+    )
+    assert len(found) == 1
+    assert "toarray" in found[0]
+
+
+def test_todense_and_to_dense_flagged(tmp_path) -> None:
+    found = _lint_file(
+        tmp_path,
+        "src/repro/foo.py",
+        "def a(m):\n    return m.todense()\n\n\ndef b(u):\n    return u.to_dense(9)\n",
+    )
+    assert len(found) == 2
+
+
+def test_stack_over_masks_flagged(tmp_path) -> None:
+    found = _lint_file(
+        tmp_path,
+        "src/repro/foo.py",
+        "import numpy as np\n\n\n"
+        "def gather(clients):\n"
+        "    return np.stack([c.positive_mask for c in clients])\n",
+    )
+    assert len(found) == 1
+    assert "mask rows" in found[0]
+
+
+def test_stack_over_non_masks_clean(tmp_path) -> None:
+    found = _lint_file(
+        tmp_path,
+        "src/repro/foo.py",
+        "import numpy as np\n\n\n"
+        "def gather(clients):\n"
+        "    return np.stack([c.user_vector for c in clients])\n",
+    )
+    assert found == []
+
+
+def test_allowlisted_store_module_clean(tmp_path) -> None:
+    found = _lint_file(
+        tmp_path,
+        "src/repro/data/store.py",
+        "def densify(matrix):\n    return matrix.toarray()\n",
+    )
+    assert found == []
+
+
+def test_tests_context_clean(tmp_path) -> None:
+    found = _lint_file(
+        tmp_path,
+        "tests/test_foo.py",
+        "def test_densify(matrix):\n    assert matrix.toarray() is not None\n",
+    )
+    assert found == []

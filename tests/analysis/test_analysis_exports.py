@@ -1,0 +1,67 @@
+"""R6 export consistency: __all__ is literal, unique and truthful."""
+
+from __future__ import annotations
+
+from lint_fixtures import lint, messages, write_tree
+
+
+def _lint_file(tmp_path, rel: str, code: str):
+    write_tree(tmp_path, {rel: code})
+    return messages(lint(tmp_path, select=["R6"]))
+
+
+def test_stale_export_flagged(tmp_path) -> None:
+    found = _lint_file(
+        tmp_path,
+        "src/repro/foo.py",
+        '__all__ = ["gone"]\n\n\ndef here() -> None:\n    pass\n',
+    )
+    assert len(found) == 1
+    assert "'gone'" in found[0]
+
+
+def test_duplicate_export_flagged(tmp_path) -> None:
+    found = _lint_file(
+        tmp_path,
+        "src/repro/foo.py",
+        '__all__ = ["here", "here"]\n\n\ndef here() -> None:\n    pass\n',
+    )
+    assert len(found) == 1
+    assert "more than once" in found[0]
+
+
+def test_dynamic_all_flagged(tmp_path) -> None:
+    found = _lint_file(
+        tmp_path,
+        "src/repro/foo.py",
+        '_NAMES = ["a"]\n__all__ = _NAMES + ["b"]\n',
+    )
+    assert len(found) == 1
+    assert "literal" in found[0]
+
+
+def test_conditional_and_import_bindings_count(tmp_path) -> None:
+    found = _lint_file(
+        tmp_path,
+        "src/repro/foo.py",
+        "from typing import TYPE_CHECKING\n\n"
+        '__all__ = ["TYPE_CHECKING", "Helper", "CONST"]\n\n'
+        "if TYPE_CHECKING:\n"
+        "    from repro.bar import Helper\n"
+        "CONST = 3\n",
+    )
+    assert found == []
+
+
+def test_star_import_skips_missing_name_check(tmp_path) -> None:
+    found = _lint_file(
+        tmp_path,
+        "src/repro/foo.py",
+        'from os.path import *  # noqa: F403\n\n__all__ = ["join"]\n',
+    )
+    assert found == []
+
+
+def test_module_without_all_is_clean(tmp_path) -> None:
+    found = _lint_file(tmp_path, "src/repro/foo.py", "def here() -> None:\n    pass\n")
+    assert found == []

@@ -1,0 +1,128 @@
+"""R1 RNG discipline: library routes through repro.rng, no implicit entropy."""
+
+from __future__ import annotations
+
+from lint_fixtures import lint, messages, write_tree
+
+
+def _lint_file(tmp_path, rel: str, code: str):
+    write_tree(tmp_path, {rel: code})
+    return messages(lint(tmp_path, select=["R1"]))
+
+
+class TestLibraryCode:
+    def test_implicit_default_rng_flagged(self, tmp_path) -> None:
+        found = _lint_file(
+            tmp_path,
+            "src/repro/foo.py",
+            "import numpy as np\nrng = np.random.default_rng()\n",
+        )
+        assert len(found) == 1
+        assert "implicit-entropy" in found[0]
+
+    def test_seeded_default_rng_flagged_in_library(self, tmp_path) -> None:
+        found = _lint_file(
+            tmp_path,
+            "src/repro/foo.py",
+            "import numpy as np\nrng = np.random.default_rng(7)\n",
+        )
+        assert len(found) == 1
+        assert "ensure_rng" in found[0]
+
+    def test_legacy_global_state_flagged(self, tmp_path) -> None:
+        found = _lint_file(
+            tmp_path,
+            "src/repro/foo.py",
+            "import numpy as np\nnp.random.seed(0)\nx = np.random.rand(3)\n",
+        )
+        assert len(found) == 2
+        assert all("legacy global state" in m for m in found)
+
+    def test_restricted_import_flagged(self, tmp_path) -> None:
+        found = _lint_file(
+            tmp_path,
+            "src/repro/foo.py",
+            "from numpy.random import default_rng\n",
+        )
+        assert len(found) == 1
+        assert "do not import" in found[0]
+
+    def test_bare_reference_as_default_factory_flagged(self, tmp_path) -> None:
+        # The real-tree bug this catches: field(default_factory=np.random.default_rng)
+        # is a *reference*, not a call, and constructs implicit entropy later.
+        found = _lint_file(
+            tmp_path,
+            "src/repro/foo.py",
+            "import numpy as np\n"
+            "from dataclasses import dataclass, field\n\n\n"
+            "@dataclass\n"
+            "class Holder:\n"
+            "    rng: np.random.Generator = field(default_factory=np.random.default_rng)\n",
+        )
+        assert len(found) == 1
+        assert "bare reference" in found[0]
+
+    def test_ensure_rng_gateway_is_clean(self, tmp_path) -> None:
+        found = _lint_file(
+            tmp_path,
+            "src/repro/foo.py",
+            "import numpy as np\n"
+            "from repro.rng import ensure_rng\n\n\n"
+            "def draw(rng: np.random.Generator | int | None = None) -> float:\n"
+            "    return float(ensure_rng(rng).random())\n",
+        )
+        assert found == []
+
+    def test_rng_module_is_exempt(self, tmp_path) -> None:
+        found = _lint_file(
+            tmp_path,
+            "src/repro/rng.py",
+            "import numpy as np\nrng = np.random.default_rng()\n",
+        )
+        assert found == []
+
+
+class TestSignatureContract:
+    def test_mistyped_rng_parameter_flagged(self, tmp_path) -> None:
+        found = _lint_file(
+            tmp_path,
+            "src/repro/foo.py",
+            "def draw(rng: int) -> int:\n    return rng\n",
+        )
+        assert len(found) == 1
+        assert "'rng'" in found[0] and "Generator" in found[0]
+
+    def test_mistyped_seed_parameter_flagged(self, tmp_path) -> None:
+        found = _lint_file(
+            tmp_path,
+            "src/repro/foo.py",
+            "def draw(seed: str) -> str:\n    return seed\n",
+        )
+        assert len(found) == 1
+        assert "'seed'" in found[0]
+
+
+class TestTestContext:
+    def test_seeded_default_rng_allowed_in_tests(self, tmp_path) -> None:
+        found = _lint_file(
+            tmp_path,
+            "tests/test_foo.py",
+            "import numpy as np\nrng = np.random.default_rng(7)\n",
+        )
+        assert found == []
+
+    def test_implicit_entropy_flagged_even_in_tests(self, tmp_path) -> None:
+        found = _lint_file(
+            tmp_path,
+            "tests/test_foo.py",
+            "import numpy as np\nrng = np.random.default_rng()\n",
+        )
+        assert len(found) == 1
+
+    def test_legacy_api_flagged_even_in_tests(self, tmp_path) -> None:
+        found = _lint_file(
+            tmp_path,
+            "tests/test_foo.py",
+            "import numpy as np\nstate = np.random.RandomState(3)\n",
+        )
+        assert len(found) == 1

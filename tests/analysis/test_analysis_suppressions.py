@@ -1,0 +1,143 @@
+"""Suppression comments and the SUP hygiene pseudo-rule."""
+
+from __future__ import annotations
+
+from lint_fixtures import lint, messages, write_tree
+
+# A library file with one R3 violation on the .toarray() line.
+_VIOLATING = "def densify(matrix){}:\n    return matrix.toarray(){}\n"
+
+
+def _densify_file(signature_comment: str = "", call_comment: str = "") -> str:
+    return _VIOLATING.format(signature_comment, call_comment)
+
+
+def test_trailing_suppression_with_reason_silences(tmp_path) -> None:
+    code = _densify_file(
+        call_comment="  # repro-lint: disable=R3 — debugging helper, not a hot path"
+    )
+    write_tree(tmp_path, {"src/repro/foo.py": code})
+    report = lint(tmp_path, select=["R3"])
+    assert messages(report) == []
+    assert len(report.suppressed) == 1
+    assert report.exit_code == 0
+
+
+def test_standalone_suppression_covers_next_code_line(tmp_path) -> None:
+    code = (
+        "# repro-lint: disable=R3 — debugging helper, not a hot path;\n"
+        "# the justification may continue over several comment lines\n"
+        "# before the code it excuses.\n"
+        "def densify(matrix):\n"
+        "    return matrix.toarray()\n"
+    )
+    # The violation is on line 5; the marker on line 1 reaches past the
+    # continuation comments only to the first code line — line 4, the def —
+    # so it does NOT cover line 5 and the violation survives.
+    write_tree(tmp_path, {"src/repro/foo.py": code})
+    report = lint(tmp_path, select=["R3"])
+    assert [v.rule for v in report.violations] == ["R3"]
+    assert report.suppressed == []
+
+    # Anchored directly above the offending line it suppresses.
+    code = (
+        "def densify(matrix):\n"
+        "    # repro-lint: disable=R3 — debugging helper,\n"
+        "    # not a hot path\n"
+        "    return matrix.toarray()\n"
+    )
+    write_tree(tmp_path, {"src/repro/foo.py": code})
+    report = lint(tmp_path, select=["R3"])
+    assert messages(report) == []
+    assert len(report.suppressed) == 1
+
+
+def test_suppression_without_reason_is_a_violation(tmp_path) -> None:
+    code = _densify_file(call_comment="  # repro-lint: disable=R3")
+    write_tree(tmp_path, {"src/repro/foo.py": code})
+    report = lint(tmp_path, select=["R3"])
+    # The R3 finding is suppressed, but the unexplained suppression itself fails.
+    assert len(report.suppressed) == 1
+    assert len(report.violations) == 1
+    assert report.violations[0].rule == "SUP"
+    assert "unexplained" in report.violations[0].message
+    assert report.exit_code == 1
+
+
+def test_unknown_rule_in_suppression_is_a_violation(tmp_path) -> None:
+    code = "x = 1  # repro-lint: disable=R99 — no such rule\n"
+    write_tree(tmp_path, {"src/repro/foo.py": code})
+    report = lint(tmp_path)
+    assert any(
+        v.rule == "SUP" and "unknown rule 'R99'" in v.message for v in report.violations
+    )
+
+
+def test_unused_suppression_is_a_violation(tmp_path) -> None:
+    code = "x = 1  # repro-lint: disable=R3 — nothing here densifies\n"
+    write_tree(tmp_path, {"src/repro/foo.py": code})
+    report = lint(tmp_path)  # all rules: unused-ness is decidable
+    assert any(
+        v.rule == "SUP" and "unused" in v.message for v in report.violations
+    )
+
+
+def test_unused_not_reported_under_rule_selection(tmp_path) -> None:
+    code = "x = 1  # repro-lint: disable=R3 — nothing here densifies\n"
+    write_tree(tmp_path, {"src/repro/foo.py": code})
+    report = lint(tmp_path, select=["R1"])
+    assert messages(report) == []
+
+
+def test_disable_file_scope(tmp_path) -> None:
+    code = (
+        "# repro-lint: disable-file=R3 — this whole module is a densify shim\n"
+        "def a(m):\n"
+        "    return m.toarray()\n\n\n"
+        "def b(m):\n"
+        "    return m.todense()\n"
+    )
+    write_tree(tmp_path, {"src/repro/foo.py": code})
+    report = lint(tmp_path, select=["R3"])
+    assert messages(report) == []
+    assert len(report.suppressed) == 2
+
+
+def test_marker_inside_string_is_not_a_suppression(tmp_path) -> None:
+    code = (
+        'DOC = "example: # repro-lint: disable=R3 — not a real comment"\n'
+        "def densify(matrix):\n"
+        "    return matrix.toarray()\n"
+    )
+    write_tree(tmp_path, {"src/repro/foo.py": code})
+    report = lint(tmp_path, select=["R3"])
+    assert len(report.violations) == 1
+    assert report.violations[0].rule == "R3"
+
+
+def test_syntax_errors_cannot_be_suppressed(tmp_path) -> None:
+    code = (
+        "# repro-lint: disable-file=SYNTAX — please ignore the broken file\n"
+        "def broken(:\n"
+    )
+    write_tree(tmp_path, {"src/repro/foo.py": code})
+    report = lint(tmp_path)
+    assert any(v.rule == "SYNTAX" for v in report.violations)
+    # SYNTAX is not a rule id, so naming it is itself a hygiene violation.
+    assert any(
+        v.rule == "SUP" and "unknown rule 'SYNTAX'" in v.message
+        for v in report.violations
+    )
+
+
+def test_multiple_rules_in_one_marker(tmp_path) -> None:
+    code = (
+        "import numpy as np\n\n\n"
+        "def f(clients):\n"
+        "    # repro-lint: disable=R1,R3 — fixture exercising a comma list\n"
+        "    return np.stack([c.positive_mask for c in clients]), np.random.rand(2)\n"
+    )
+    write_tree(tmp_path, {"src/repro/foo.py": code})
+    report = lint(tmp_path, select=["R1", "R3"])
+    assert messages(report) == []
+    assert len(report.suppressed) == 2

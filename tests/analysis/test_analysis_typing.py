@@ -1,0 +1,102 @@
+"""R7 typed signatures: complete annotations, no bare generics, in library code."""
+
+from __future__ import annotations
+
+from lint_fixtures import lint, messages, write_tree
+
+
+def _lint_file(tmp_path, rel: str, code: str):
+    write_tree(tmp_path, {rel: code})
+    return messages(lint(tmp_path, select=["R7"]))
+
+
+def test_missing_parameter_annotation_flagged(tmp_path) -> None:
+    found = _lint_file(
+        tmp_path,
+        "src/repro/foo.py",
+        "def f(a, b: int) -> int:\n    return b\n",
+    )
+    assert len(found) == 1
+    assert "'a'" in found[0]
+
+
+def test_missing_return_annotation_flagged(tmp_path) -> None:
+    found = _lint_file(
+        tmp_path, "src/repro/foo.py", "def f(a: int):\n    return a\n"
+    )
+    assert len(found) == 1
+    assert "return annotation" in found[0]
+
+
+def test_unannotated_star_args_flagged(tmp_path) -> None:
+    found = _lint_file(
+        tmp_path,
+        "src/repro/foo.py",
+        "def f(*args, **kwargs) -> None:\n    pass\n",
+    )
+    assert len(found) == 1
+    assert "'*args'" in found[0] and "'**kwargs'" in found[0]
+
+
+def test_self_and_cls_exempt(tmp_path) -> None:
+    found = _lint_file(
+        tmp_path,
+        "src/repro/foo.py",
+        "class C:\n"
+        "    def method(self, x: int) -> int:\n"
+        "        return x\n\n"
+        "    @classmethod\n"
+        "    def build(cls) -> 'C':\n"
+        "        return cls()\n",
+    )
+    assert found == []
+
+
+def test_bare_generic_annotations_flagged(tmp_path) -> None:
+    found = _lint_file(
+        tmp_path,
+        "src/repro/foo.py",
+        "options: dict = {}\n\n\ndef f(xs: list) -> tuple:\n    return tuple(xs)\n",
+    )
+    assert len(found) == 3
+
+
+def test_parameterized_generics_clean(tmp_path) -> None:
+    found = _lint_file(
+        tmp_path,
+        "src/repro/foo.py",
+        "options: dict[str, int] = {}\n\n\n"
+        "def f(xs: list[int]) -> tuple[int, ...]:\n"
+        "    return tuple(xs)\n",
+    )
+    assert found == []
+
+
+def test_string_annotation_inspected(tmp_path) -> None:
+    found = _lint_file(
+        tmp_path,
+        "src/repro/foo.py",
+        'def f(xs: "list") -> None:\n    del xs\n',
+    )
+    assert len(found) == 1
+
+
+def test_nested_functions_checked(tmp_path) -> None:
+    found = _lint_file(
+        tmp_path,
+        "src/repro/foo.py",
+        "def outer() -> None:\n"
+        "    def inner(x):\n"
+        "        return x\n"
+        "    inner(1)\n",
+    )
+    assert len(found) == 2  # missing param + missing return on inner
+
+
+def test_test_context_exempt(tmp_path) -> None:
+    found = _lint_file(
+        tmp_path,
+        "tests/test_foo.py",
+        "def test_f(small_split, small_targets):\n    assert small_split\n",
+    )
+    assert found == []

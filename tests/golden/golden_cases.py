@@ -9,15 +9,19 @@ whose full metric history is serialized to JSON and replayed bit-identically
 by ``test_golden_histories.py``.
 
 The grid covers MF and the MLP scorer, benign and FedRecAttack runs, and
-both round engines — plus two cases pinning the ``eval_sampler="batched"``
-evaluation stream introduced alongside this harness.  Every case keeps the
-historical defaults for everything it does not explicitly override, so a
-silent cross-version drift of *any* stream (client RNG, round sampler,
-privacy noise, attack randomness, evaluation negatives) fails the suite.
+both round engines — plus dedicated cases pinning every remaining switch
+realization (``eval_sampler="batched"``, ``sampler="batched"``,
+``eval_engine="loop"``), so each protocol switch the config exposes has at
+least one committed history per realization; the switch-parity lint rule
+(R2) enforces that invariant statically.  Every case pins every switch
+explicitly, so a silent cross-version drift of *any* stream (client RNG,
+round sampler, privacy noise, attack randomness, evaluation negatives)
+fails the suite.
 
 Intentional contract changes are an explicit diff: edit the case or the
-code, run ``PYTHONPATH=src python tests/golden/regenerate.py``, and commit
-the fixture change next to the code change.
+code, run ``REPRO_GOLDEN_REGEN=1 PYTHONPATH=src python
+tests/golden/regenerate.py``, and commit the fixture change next to the
+code change.
 """
 
 from __future__ import annotations
@@ -43,6 +47,12 @@ _BASE = dict(
     eval_num_negatives=19,
     evaluate_every=1,
     seed=20220426,
+    # Every protocol switch is pinned *explicitly* (not via config defaults)
+    # so each realization below is a visible, statically checkable contract —
+    # the switch-parity rule (R2) cross-checks this grid against the config.
+    sampler="permutation",
+    eval_engine="vectorized",
+    eval_sampler="per-user",
 )
 
 _BENIGN = dict(attack="none", rho=0.0)
@@ -67,6 +77,21 @@ for _mode, _mode_kwargs in (("benign", _BENIGN), ("attack", _ATTACK)):
         "engine": "vectorized",
         "eval_sampler": "batched",
     }
+# The remaining switch realizations each pin one history: the batched
+# negative sampler (one stacked round-level draw instead of per-client
+# streams) and the loop evaluation engine (per-user scoring order).
+GOLDEN_CASES["mf-benign-sampler-batched"] = {
+    **_BASE,
+    **_BENIGN,
+    "engine": "vectorized",
+    "sampler": "batched",
+}
+GOLDEN_CASES["mf-benign-eval-loop"] = {
+    **_BASE,
+    **_BENIGN,
+    "engine": "vectorized",
+    "eval_engine": "loop",
+}
 
 
 def serialize_result(result: ExperimentResult) -> dict:
