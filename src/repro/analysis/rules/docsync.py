@@ -25,7 +25,7 @@ from repro.analysis.core import Project, Rule, SourceFile, Violation, register
 __all__ = ["ConfigCliDocsSyncRule", "EXTRA_SWITCH_FIELDS"]
 
 #: User-facing switch fields without a literal realization tuple.
-EXTRA_SWITCH_FIELDS = ("fuse_rounds",)
+EXTRA_SWITCH_FIELDS = ("fuse_rounds", "workers")
 
 
 @register

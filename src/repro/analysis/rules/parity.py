@@ -26,6 +26,15 @@ Checked per realization of every switch field:
    committed seed-history fixture.  Defaults are not exempt: the grid
    states every switch value explicitly, which is what makes deleting a
    case a lint failure.
+
+Integer-valued switches (``workers``) have no literal realization tuple in
+``validate`` to extract, so their proof obligations are registered
+explicitly in :data:`INT_SWITCHES`: each listed value needs the same three
+legs, with dispatch evidence being any comparison of the field against an
+int literal (an int switch dispatches on a threshold like
+``config.workers > 1``, not on tuple membership), equivalence coverage
+being the int's appearance in the registered suite, and golden coverage an
+explicit ``workers=<value>`` assignment in the case grid.
 """
 
 from __future__ import annotations
@@ -33,9 +42,9 @@ from __future__ import annotations
 from typing import Iterator
 
 from repro.analysis import project as model
-from repro.analysis.core import Project, Rule, Violation, register
+from repro.analysis.core import Project, Rule, SourceFile, Violation, register
 
-__all__ = ["SwitchParityRule", "EQUIVALENCE_SUITES"]
+__all__ = ["SwitchParityRule", "EQUIVALENCE_SUITES", "INT_SWITCHES"]
 
 #: Switch field -> the test modules whose parametrizations prove its
 #: realizations against the loop oracle.  A switch field missing from this
@@ -49,6 +58,15 @@ EQUIVALENCE_SUITES: dict[str, tuple[str, ...]] = {
     ),
     "eval_engine": ("tests/test_eval_engine_equivalence.py",),
     "eval_sampler": ("tests/test_eval_engine_equivalence.py",),
+    "workers": ("tests/test_sharded_engine_equivalence.py",),
+}
+
+#: Integer switch field -> the values whose realizations must be dispatched,
+#: proven equivalent and pinned by a golden case.  ``workers``: 1 is the
+#: in-process engine, 2 the representative sharded count (the equivalence
+#: suite additionally sweeps larger and degenerate shard counts).
+INT_SWITCHES: dict[str, tuple[int, ...]] = {
+    "workers": (1, 2),
 }
 
 
@@ -75,6 +93,8 @@ class SwitchParityRule(Rule):
             if source.rel not in model.CONFIG_MODULES
         ]
         golden = project.source(model.GOLDEN_CASES)
+
+        yield from self._check_int_switches(project, config, library, golden)
 
         for switch in fields:
             dispatched = model.comparison_realizations(library, switch.name)
@@ -157,6 +177,109 @@ class SwitchParityRule(Rule):
                             message=(
                                 f"switch {switch.name}={realization!r} has no "
                                 f"golden seed-history case in {model.GOLDEN_CASES}; "
+                                "add a case pinning this realization"
+                            ),
+                        )
+
+    def _check_int_switches(
+        self,
+        project: Project,
+        config: SourceFile,
+        library: list[SourceFile],
+        golden: SourceFile | None,
+    ) -> Iterator[Violation]:
+        declared = model.class_field_names(config, "FederatedConfig")
+        for name, required in INT_SWITCHES.items():
+            if name not in declared:
+                yield Violation(
+                    rule=self.id,
+                    path=config.rel,
+                    line=1,
+                    message=(
+                        f"INT_SWITCHES registers {name!r} but FederatedConfig "
+                        "declares no such field; remove the stale registry entry"
+                    ),
+                )
+                continue
+
+            if not model.int_comparison_constants(library, name):
+                yield Violation(
+                    rule=self.id,
+                    path=config.rel,
+                    line=1,
+                    message=(
+                        f"int switch {name!r} has no dispatch branch: no "
+                        "comparison against an int literal anywhere under src/ "
+                        "outside the config modules"
+                    ),
+                )
+
+            suites = EQUIVALENCE_SUITES.get(name)
+            if suites is None:
+                yield Violation(
+                    rule=self.id,
+                    path=config.rel,
+                    line=1,
+                    message=(
+                        f"int switch {name!r} has no entry in "
+                        "repro.analysis.rules.parity.EQUIVALENCE_SUITES; register "
+                        "the equivalence suite that proves its realizations"
+                    ),
+                )
+            else:
+                covered: set[int] = set()
+                found_any = False
+                for rel in suites:
+                    suite = project.source(rel)
+                    if suite is None:
+                        continue
+                    found_any = True
+                    covered |= model.all_int_constants(suite)
+                if not found_any:
+                    yield Violation(
+                        rule=self.id,
+                        path=config.rel,
+                        line=1,
+                        message=(
+                            f"none of the registered equivalence suites for "
+                            f"{name!r} exist: {', '.join(suites)}"
+                        ),
+                    )
+                else:
+                    for value in required:
+                        if value not in covered:
+                            yield Violation(
+                                rule=self.id,
+                                path=config.rel,
+                                line=1,
+                                message=(
+                                    f"int switch {name}={value} is not "
+                                    "parametrized in its equivalence suite(s) "
+                                    f"({', '.join(suites)})"
+                                ),
+                            )
+
+            if golden is None:
+                yield Violation(
+                    rule=self.id,
+                    path=config.rel,
+                    line=1,
+                    message=(
+                        f"cannot verify golden coverage of {name!r}: "
+                        f"{model.GOLDEN_CASES} not found"
+                    ),
+                )
+            else:
+                pinned = model.golden_int_field_values(golden, name)
+                for value in required:
+                    if value not in pinned:
+                        yield Violation(
+                            rule=self.id,
+                            path=config.rel,
+                            line=1,
+                            message=(
+                                f"int switch {name}={value} has no golden "
+                                f"seed-history case in {model.GOLDEN_CASES}; "
                                 "add a case pinning this realization"
                             ),
                         )

@@ -116,6 +116,18 @@ def build_parser() -> argparse.ArgumentParser:
         default=1,
         help="cross-round fusion window (>1 requires the vectorized engine)",
     )
+    run_parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker processes sharding each round (bit-identical to 1)",
+    )
+    run_parser.add_argument(
+        "--worker-timeout",
+        type=float,
+        default=None,
+        help="seconds to wait for a sharded round before aborting (default: forever)",
+    )
 
     table_parser = subparsers.add_parser("table", help="regenerate one of the paper's tables")
     table_parser.add_argument("table", choices=sorted(_TABLES), help="table number or 'defense'")
@@ -151,6 +163,8 @@ def _command_run(args: argparse.Namespace) -> int:
         eval_engine=args.eval_engine,
         eval_sampler=args.eval_sampler,
         fuse_rounds=args.fuse_rounds,
+        workers=args.workers,
+        worker_timeout=args.worker_timeout,
         seed=args.seed,
     )
     result = run_experiment(config)

@@ -59,6 +59,8 @@ class ExperimentConfig:
     eval_engine: str = "vectorized"
     eval_sampler: str = "per-user"
     fuse_rounds: int = 1
+    workers: int = 1
+    worker_timeout: float | None = None
     use_learnable_scorer: bool = False
     scorer_hidden_units: int = 32
     evaluate_every: int | None = None
@@ -103,6 +105,8 @@ class ExperimentConfig:
             eval_engine=self.eval_engine,
             eval_sampler=self.eval_sampler,
             fuse_rounds=self.fuse_rounds,
+            workers=self.workers,
+            worker_timeout=self.worker_timeout,
             use_learnable_scorer=self.use_learnable_scorer,
             scorer_hidden_units=self.scorer_hidden_units,
         )

@@ -106,6 +106,23 @@ class FederatedConfig:
         are computed against an up-to-``F - 1``-rounds-stale ``V`` (a
         delayed-gradient trade-off that changes the realization, like the
         sampler switch).  Requires the vectorized engine and plain MF.
+    workers:
+        Number of worker processes sharding each round's benign local
+        training.  ``1`` (default) keeps everything in-process.  ``W > 1``
+        partitions the round's sampled clients into ``W`` contiguous shards
+        executed by a process pool against a shared-memory snapshot of ``V``
+        and the dataset's CSR arrays, then merges the per-shard updates
+        deterministically in shard order *before* DP clipping, attack
+        injection and aggregation.  All randomness is predrawn in the parent
+        and shipped to the shards, so per-round histories are bit-identical
+        to ``workers=1`` for every engine/sampler realization — this switch
+        trades nothing but wall clock.  The vectorized engine with the MLP
+        scorer has no sharded implementation (use the loop engine there).
+    worker_timeout:
+        Seconds a sharded round waits for its worker pool before declaring
+        it hung and aborting with a ``RuntimeError`` naming the unfinished
+        shard(s).  ``None`` (default) waits forever.  Only meaningful with
+        ``workers > 1``.
     """
 
     num_factors: int = 32
@@ -127,6 +144,8 @@ class FederatedConfig:
     eval_engine: str = "vectorized"
     eval_sampler: str = "per-user"
     fuse_rounds: int = 1
+    workers: int = 1
+    worker_timeout: float | None = None
 
     def validate(self) -> None:
         """Raise :class:`ConfigurationError` on inconsistent settings."""
@@ -175,4 +194,16 @@ class FederatedConfig:
             raise ConfigurationError(
                 "fuse_rounds > 1 is only supported for plain MF "
                 "(the scorer path has no factored round representation)"
+            )
+        if self.workers < 1:
+            raise ConfigurationError("workers must be at least 1")
+        if self.worker_timeout is not None and self.worker_timeout <= 0:
+            raise ConfigurationError(
+                "worker_timeout must be positive (or None to wait forever)"
+            )
+        if self.workers > 1 and self.engine == "vectorized" and self.use_learnable_scorer:
+            raise ConfigurationError(
+                "workers > 1 with the vectorized engine is only supported for "
+                "plain MF (the scorer round has no sharded implementation); "
+                "use engine='loop' to shard scorer training"
             )

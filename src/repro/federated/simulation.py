@@ -45,7 +45,8 @@ from repro.federated.engine import BatchedRoundTrainer
 from repro.federated.history import EpochRecord, TrainingHistory
 from repro.federated.privacy import GaussianNoiseMechanism
 from repro.federated.server import Server
-from repro.federated.updates import ClientUpdate
+from repro.federated.sharding import ShardedRoundExecutor, build_loop_shard_tasks
+from repro.federated.updates import ClientUpdate, merge_sparse_rounds
 from repro.metrics.accuracy import AccuracyReport
 from repro.metrics.evaluation import evaluate_snapshot
 from repro.metrics.exposure import ExposureReport
@@ -187,6 +188,18 @@ class FederatedSimulation:
         self._all_client_ids = np.array(
             sorted(self.benign_clients) + sorted(self.malicious_clients), dtype=np.int64
         )
+        # With workers > 1, one executor owns the process pool and the
+        # shared-memory snapshot (V + CSR arrays) for the whole simulation;
+        # both engines shard their rounds through it.
+        self._shard_executor: ShardedRoundExecutor | None = None
+        if config.workers > 1:
+            self._shard_executor = ShardedRoundExecutor(
+                num_shards=config.workers,
+                num_items=train.num_items,
+                num_factors=config.num_factors,
+                store=self._store,
+                timeout=config.worker_timeout,
+            )
         self._trainer = BatchedRoundTrainer(
             self.benign_clients,
             config,
@@ -194,6 +207,7 @@ class FederatedSimulation:
             train.num_items,
             round_rng=self._round_sampler_rng,
             store=self._store,
+            executor=self._shard_executor,
         )
         self._setup_attack()
 
@@ -201,6 +215,16 @@ class FederatedSimulation:
     def round_index(self) -> int:
         """The authoritative round counter (the server's, empty rounds included)."""
         return self.server.rounds_applied
+
+    def close(self) -> None:
+        """Release the sharded-round worker pool and its shared memory.
+
+        Only meaningful with ``config.workers > 1`` (a no-op otherwise); the
+        executor also cleans itself up on garbage collection, but tests and
+        long-lived callers that build many simulations should close eagerly.
+        """
+        if self._shard_executor is not None:
+            self._shard_executor.close()
 
     # ------------------------------------------------------------------ #
     # Construction helpers
@@ -435,22 +459,40 @@ class FederatedSimulation:
         through the same shared round stream the vectorized engine consumes
         (one stacked draw, clients in selection order), so the loop engine
         remains the equivalence oracle for either sampler.
+
+        With ``workers > 1`` the pairs are *always* predrawn (through the
+        exact per-client or round streams the in-process loop consumes) and
+        the per-client reference training runs in contiguous client shards
+        on the worker pool; the parent then applies each client's local step
+        and walks the batch in its original order, so privacy-noise draws,
+        attack injection and aggregation are untouched and the histories are
+        bit-identical to ``workers=1``.
         """
         predrawn: dict[int, tuple[np.ndarray, np.ndarray]] = {}
-        if self.config.sampler == "batched":
+        benign_ids: list[int] = []
+        if self.config.sampler == "batched" or self._shard_executor is not None:
             benign_ids = [int(cid) for cid in batch if int(cid) in self.benign_clients]
             pairs = self._trainer.draw_round_pairs(benign_ids)
             predrawn = dict(zip(benign_ids, pairs))
+        sharded: dict[int, tuple[ClientUpdate, np.ndarray]] = {}
+        if self._shard_executor is not None:
+            sharded = self._loop_shard_results(benign_ids, predrawn)
         updates: list[ClientUpdate] = []
         round_loss = 0.0
         for cid in batch:
             cid = int(cid)
             if cid in self.benign_clients:
-                update = self.benign_clients[cid].local_train(
-                    self.server.item_factors,
-                    self.server.scorer,
-                    pairs=predrawn.get(cid),
-                )
+                if self._shard_executor is not None:
+                    update, grad_user = sharded[cid]
+                    client = self.benign_clients[cid]
+                    client.user_vector = client.user_vector - client.learning_rate * grad_user
+                    client.participation_count += 1
+                else:
+                    update = self.benign_clients[cid].local_train(
+                        self.server.item_factors,
+                        self.server.scorer,
+                        pairs=predrawn.get(cid),
+                    )
                 round_loss += update.loss
                 update = self.privacy.apply(update)
             else:
@@ -469,6 +511,50 @@ class FederatedSimulation:
             self.update_observer(round_index, updates)
         self.server.apply_round(updates)
         return round_loss
+
+    def _loop_shard_results(
+        self,
+        benign_ids: list[int],
+        predrawn: dict[int, tuple[np.ndarray, np.ndarray]],
+    ) -> dict[int, tuple[ClientUpdate, np.ndarray]]:
+        """Run the round's per-client reference training on the worker pool.
+
+        Ships the predrawn pairs (positives travel implicitly: each client's
+        round positives are a prefix of its shared CSR row), collects the
+        shard results in shard order and maps every client id to its upload
+        and user-vector gradient — which the caller applies in batch order,
+        exactly like the in-process loop.
+        """
+        executor = self._shard_executor
+        if executor is None or not benign_ids:
+            return {}
+        pair_counts = np.array(
+            [predrawn[cid][0].shape[0] for cid in benign_ids], dtype=np.int64
+        )
+        if int(pair_counts.sum()) > 0:
+            negatives = np.concatenate([predrawn[cid][1] for cid in benign_ids])
+        else:
+            negatives = np.empty(0, dtype=np.int64)
+        user_vectors = np.stack(
+            [self.benign_clients[cid].user_vector for cid in benign_ids]
+        )
+        tasks = build_loop_shard_tasks(
+            executor.num_shards,
+            np.asarray(benign_ids, dtype=np.int64),
+            pair_counts,
+            user_vectors,
+            negatives,
+            self.config.l2_reg,
+            self.server.scorer,
+        )
+        shard_results = executor.run_shards(tasks, self.server.item_factors)
+        merged = merge_sparse_rounds([result.updates for result in shard_results])  # type: ignore[misc]
+        grad_users = np.concatenate([result.grad_users for result in shard_results], axis=0)
+        updates = merged.to_client_updates()
+        return {
+            cid: (updates[index], grad_users[index])
+            for index, cid in enumerate(benign_ids)
+        }
 
     # ------------------------------------------------------------------ #
     # Evaluation

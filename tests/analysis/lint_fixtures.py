@@ -32,12 +32,15 @@ class FederatedConfig:
     engine: str = "vectorized"
     sampler: str = "permutation"
     fuse_rounds: int = 1
+    workers: int = 1
 
     def validate(self) -> None:
         if self.engine not in ("loop", "vectorized"):
             raise ValueError(self.engine)
         if self.sampler not in ("permutation", "batched"):
             raise ValueError(self.sampler)
+        if self.workers < 1:
+            raise ValueError(self.workers)
 '''
 
 _EXPERIMENT_CONFIG = '''\
@@ -55,6 +58,7 @@ class ExperimentConfig:
     engine: str = "vectorized"
     sampler: str = "permutation"
     fuse_rounds: int = 1
+    workers: int = 1
 '''
 
 _CLI = '''\
@@ -72,6 +76,7 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--engine")
     parser.add_argument("--sampler")
     parser.add_argument("--fuse-rounds")
+    parser.add_argument("--workers")
     return parser
 '''
 
@@ -97,6 +102,23 @@ def draw_negatives(sampler: str) -> str:
     if sampler == "batched":
         return "round stream"
     raise ValueError(sampler)
+
+
+def dispatch_round(workers: int) -> str:
+    if workers > 1:
+        return "sharded pool"
+    return "in-process"
+'''
+
+
+_SHARDED_SUITE = '''\
+"""Sharded-engine equivalence suite (fixture)."""
+
+WORKERS = (1, 2)
+
+
+def test_workers_parametrization() -> None:
+    assert len(WORKERS) == 2
 '''
 
 _EQUIVALENCE_SUITE = '''\
@@ -115,8 +137,9 @@ _GOLDEN_CASES = '''\
 """Golden case grid (fixture)."""
 
 GOLDEN_CASES = {
-    "loop-perm": {"engine": "loop", "sampler": "permutation"},
-    "vec-batched": {"engine": "vectorized", "sampler": "batched"},
+    "loop-perm": {"engine": "loop", "sampler": "permutation", "workers": 1},
+    "vec-batched": {"engine": "vectorized", "sampler": "batched", "workers": 1},
+    "vec-workers2": {"engine": "vectorized", "sampler": "permutation", "workers": 2},
 }
 '''
 
@@ -128,6 +151,7 @@ _README = """\
 | `engine` | `--engine` | `loop`, `vectorized` |
 | `sampler` | `--sampler` | `permutation`, `batched` |
 | `fuse_rounds` | `--fuse-rounds` | positive int |
+| `workers` | `--workers` | positive int |
 """
 
 #: A minimal project satisfying every repro-lint rule.
@@ -137,6 +161,7 @@ CLEAN_TREE: dict[str, str] = {
     "src/repro/cli.py": _CLI,
     "src/repro/federated/engine.py": _ENGINE,
     "tests/test_federated_engine_equivalence.py": _EQUIVALENCE_SUITE,
+    "tests/test_sharded_engine_equivalence.py": _SHARDED_SUITE,
     "tests/golden/golden_cases.py": _GOLDEN_CASES,
     "README.md": _README,
 }

@@ -52,6 +52,35 @@ def test_numeric_extra_switch_checked(tmp_path) -> None:
     assert any("'--fuse-rounds'" in m for m in found)
 
 
+def test_workers_switch_checked(tmp_path) -> None:
+    # workers is an EXTRA_SWITCH_FIELDS entry like fuse_rounds: dropping any
+    # of its three surfaces must fail.
+    cli = CLEAN_TREE["src/repro/cli.py"].replace(
+        '    parser.add_argument("--workers")\n', ""
+    )
+    root = write_tree(tmp_path, {**CLEAN_TREE, "src/repro/cli.py": cli})
+    found = messages(lint(root, select=["R5"]))
+    assert any("'--workers'" in m for m in found)
+
+    readme = "\n".join(
+        line
+        for line in CLEAN_TREE["README.md"].splitlines()
+        if "`workers`" not in line
+    )
+    root = write_tree(tmp_path / "readme", {**CLEAN_TREE, "README.md": readme})
+    found = messages(lint(root, select=["R5"]))
+    assert any("'workers'" in m and "README" in m for m in found)
+
+    experiment = CLEAN_TREE["src/repro/experiments/config.py"].replace(
+        "    workers: int = 1\n", ""
+    )
+    root = write_tree(
+        tmp_path / "mirror", {**CLEAN_TREE, "src/repro/experiments/config.py": experiment}
+    )
+    found = messages(lint(root, select=["R5"]))
+    assert any("'workers'" in m and "mirror" in m for m in found)
+
+
 def test_readme_token_matching_is_exact(tmp_path) -> None:
     # An ``eval_engine`` row must not satisfy the ``engine`` requirement.
     readme = CLEAN_TREE["README.md"].replace("| `engine` |", "| `eval_engine` |")

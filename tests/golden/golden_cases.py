@@ -53,6 +53,7 @@ _BASE = dict(
     sampler="permutation",
     eval_engine="vectorized",
     eval_sampler="per-user",
+    workers=1,
 )
 
 _BENIGN = dict(attack="none", rho=0.0)
@@ -91,6 +92,23 @@ GOLDEN_CASES["mf-benign-eval-loop"] = {
     **_BENIGN,
     "engine": "vectorized",
     "eval_engine": "loop",
+}
+# The sharded round engine (workers > 1) is contractually bit-identical to
+# workers=1, so its fixtures must equal the corresponding single-process
+# histories — a divergence is a broken shard/merge contract, not a new
+# realization.  One benign MF case and one full FedRecAttack case keep both
+# the factored merge path and the attack-injection path pinned.
+GOLDEN_CASES["mf-benign-workers2"] = {
+    **_BASE,
+    **_BENIGN,
+    "engine": "vectorized",
+    "workers": 2,
+}
+GOLDEN_CASES["mf-attack-workers2"] = {
+    **_BASE,
+    **_ATTACK,
+    "engine": "vectorized",
+    "workers": 2,
 }
 
 

@@ -1,0 +1,173 @@
+"""Fault injection for the sharded round engine.
+
+A sharded round must either merge *every* shard in shard order or abort the
+whole round with a clean error naming the failing shard — a silent partial
+merge would corrupt the training history undetectably.  These tests
+monkeypatch the worker-side dispatch hook
+:data:`repro.federated.sharding._execute_shard` *before* the pool forks (the
+pool starts lazily on the first round, so fork-started workers inherit the
+patched behaviour) to inject crashes, hangs and adversarial completion
+orders.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+try:  # pragma: no cover - exercised only on crippled platforms
+    import multiprocessing.synchronize  # noqa: F401
+except ImportError:  # pragma: no cover
+    pytest.skip("process pools unavailable on this platform", allow_module_level=True)
+
+from repro.exceptions import ConfigurationError
+from repro.federated import sharding
+from repro.federated.config import FederatedConfig
+from repro.federated.simulation import FederatedSimulation
+from repro.rng import SeedSequenceFactory
+
+
+def _make_simulation(small_split, small_targets, workers, engine="vectorized", **kwargs):
+    defaults = dict(
+        num_factors=8,
+        learning_rate=0.05,
+        clients_per_round=32,
+        num_epochs=1,
+        engine=engine,
+        workers=workers,
+    )
+    defaults.update(kwargs)
+    return FederatedSimulation(
+        train=small_split.train,
+        config=FederatedConfig(**defaults),
+        test_items=small_split.test_items,
+        target_items=small_targets,
+        seed=SeedSequenceFactory(41),
+        eval_num_negatives=20,
+    )
+
+
+class TestWorkerCrash:
+    @pytest.mark.parametrize("engine", ("loop", "vectorized"))
+    def test_raising_shard_aborts_round_with_shard_id(
+        self, small_split, small_targets, monkeypatch, engine
+    ):
+        original = sharding._execute_shard
+
+        def crash_shard_one(task):
+            if task.shard_index == 1:
+                raise ValueError("injected shard failure")
+            return original(task)
+
+        monkeypatch.setattr(sharding, "_execute_shard", crash_shard_one)
+        simulation = _make_simulation(small_split, small_targets, workers=2, engine=engine)
+        try:
+            with pytest.raises(RuntimeError, match=r"shard 1 failed: .*injected shard failure"):
+                simulation.run()
+            # No partial merge: the failed round never reached the server.
+            assert simulation.server.rounds_applied == 0
+        finally:
+            simulation.close()
+
+    def test_error_message_promises_no_partial_merge(
+        self, small_split, small_targets, monkeypatch
+    ):
+        def crash_everything(task):
+            raise RuntimeError("worker exploded")
+
+        monkeypatch.setattr(sharding, "_execute_shard", crash_everything)
+        simulation = _make_simulation(small_split, small_targets, workers=2)
+        try:
+            with pytest.raises(RuntimeError, match="no partial merge was performed"):
+                simulation.run()
+        finally:
+            simulation.close()
+
+
+class TestWorkerHang:
+    def test_hung_shard_times_out_with_shard_id(self, small_split, small_targets, monkeypatch):
+        original = sharding._execute_shard
+
+        def hang_shard_one(task):
+            if task.shard_index == 1:
+                time.sleep(60.0)
+            return original(task)
+
+        monkeypatch.setattr(sharding, "_execute_shard", hang_shard_one)
+        simulation = _make_simulation(
+            small_split, small_targets, workers=2, worker_timeout=1.5
+        )
+        start = time.monotonic()
+        try:
+            with pytest.raises(
+                RuntimeError, match=r"timed out after 1\.5s waiting for shard\(s\) 1"
+            ):
+                simulation.run()
+            assert simulation.server.rounds_applied == 0
+        finally:
+            simulation.close()
+        # The hung worker was terminated, not waited out.
+        assert time.monotonic() - start < 30.0
+
+
+class TestMergeDeterminism:
+    @pytest.mark.parametrize("engine", ("loop", "vectorized"))
+    def test_reversed_completion_order_merges_in_shard_order(
+        self, small_split, small_targets, monkeypatch, engine
+    ):
+        # Delay shards so that shard 0 reliably finishes *last* every round;
+        # if results were merged in completion order the histories would
+        # diverge from the single-process run.
+        baseline = _make_simulation(
+            small_split, small_targets, workers=1, engine=engine, clients_per_round=16
+        )
+        try:
+            base_result = baseline.run()
+        finally:
+            baseline.close()
+
+        original = sharding._execute_shard
+
+        def delayed_inverse(task):
+            time.sleep(0.3 * (2 - task.shard_index))
+            return original(task)
+
+        monkeypatch.setattr(sharding, "_execute_shard", delayed_inverse)
+        simulation = _make_simulation(
+            small_split, small_targets, workers=3, engine=engine, clients_per_round=16
+        )
+        try:
+            sharded_result = simulation.run()
+        finally:
+            simulation.close()
+        np.testing.assert_array_equal(
+            np.asarray(base_result.history.training_loss()),
+            np.asarray(sharded_result.history.training_loss()),
+        )
+        np.testing.assert_array_equal(base_result.item_factors, sharded_result.item_factors)
+
+
+class TestConfigurationGuards:
+    def test_zero_workers_rejected(self):
+        with pytest.raises(ConfigurationError, match="workers must be at least 1"):
+            FederatedConfig(workers=0).validate()
+
+    def test_negative_timeout_rejected(self):
+        with pytest.raises(ConfigurationError, match="worker_timeout must be positive"):
+            FederatedConfig(workers=2, worker_timeout=-1.0).validate()
+
+    def test_vectorized_scorer_sharding_rejected(self):
+        with pytest.raises(ConfigurationError, match="no sharded implementation"):
+            FederatedConfig(
+                workers=2, engine="vectorized", use_learnable_scorer=True
+            ).validate()
+
+    def test_loop_scorer_sharding_allowed(self):
+        FederatedConfig(workers=2, engine="loop", use_learnable_scorer=True).validate()
+
+    def test_close_is_idempotent(self, small_split, small_targets):
+        simulation = _make_simulation(small_split, small_targets, workers=2)
+        simulation.close()
+        simulation.close()

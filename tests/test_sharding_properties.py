@@ -1,0 +1,281 @@
+"""Property-based contracts of the shard partition and merge primitives.
+
+Two invariants make the sharded round engine's bit-exactness argument go
+through, and both are properties over *all* shapes rather than a few pinned
+examples:
+
+* :func:`repro.federated.sharding.partition_clients` is a disjoint,
+  order-preserving, contiguous cover of the client range with shard sizes
+  differing by at most one.
+* Slicing a round structure at any shard boundaries and re-merging it through
+  :func:`repro.federated.updates.merge_sparse_rounds` /
+  :func:`~repro.federated.updates.merge_factored_rounds` reproduces the
+  unsharded structure **exactly** (every array bit-identical), for any client
+  count, shard count, per-client sparsity pattern, theta payload and
+  metadata.
+
+Hypothesis runs derandomized so the suite is reproducible in CI.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import FederationError
+from repro.federated.sharding import partition_clients
+from repro.federated.updates import (
+    ClientUpdate,
+    FactoredRoundUpdates,
+    SparseRoundUpdates,
+    merge_factored_rounds,
+    merge_sparse_rounds,
+)
+
+_SETTINGS = settings(derandomize=True, max_examples=40, deadline=None)
+
+NUM_FACTORS = 3
+NUM_ITEMS = 17
+
+
+# ---------------------------------------------------------------------- #
+# partition_clients
+# ---------------------------------------------------------------------- #
+class TestPartitionProperties:
+    @_SETTINGS
+    @given(num_clients=st.integers(0, 300), num_shards=st.integers(1, 16))
+    def test_disjoint_order_preserving_cover(self, num_clients, num_shards):
+        bounds = partition_clients(num_clients, num_shards)
+        assert len(bounds) == num_shards
+        assert bounds[0][0] == 0
+        assert bounds[-1][1] == num_clients
+        for (start, stop) in bounds:
+            assert 0 <= start <= stop <= num_clients
+        for (_, stop_a), (start_b, _) in zip(bounds, bounds[1:]):
+            assert stop_a == start_b
+        covered = [index for start, stop in bounds for index in range(start, stop)]
+        assert covered == list(range(num_clients))
+
+    @_SETTINGS
+    @given(num_clients=st.integers(0, 300), num_shards=st.integers(1, 16))
+    def test_balanced_sizes(self, num_clients, num_shards):
+        sizes = [stop - start for start, stop in partition_clients(num_clients, num_shards)]
+        assert max(sizes) - min(sizes) <= 1
+        # The larger shards come first, so the partition is a deterministic
+        # function of the two counts alone.
+        assert sizes == sorted(sizes, reverse=True)
+
+
+# ---------------------------------------------------------------------- #
+# Round-structure generators and slicers
+# ---------------------------------------------------------------------- #
+def _random_sparse_round(rng, num_clients, with_theta, with_metadata):
+    counts = rng.integers(0, 6, size=num_clients)
+    total = int(counts.sum())
+    offsets = np.zeros(num_clients + 1, dtype=np.int64)
+    np.cumsum(counts, out=offsets[1:])
+    theta_gradients = None
+    theta_mask = None
+    if with_theta:
+        theta_mask = rng.integers(0, 2, size=num_clients).astype(bool)
+        theta_gradients = np.where(
+            theta_mask[:, None], rng.standard_normal((num_clients, 5)), 0.0
+        )
+    metadata = (
+        [{"tag": int(index)} for index in range(num_clients)] if with_metadata else []
+    )
+    return SparseRoundUpdates(
+        client_ids=rng.permutation(1000)[:num_clients].astype(np.int64),
+        item_ids=rng.integers(0, NUM_ITEMS, size=total).astype(np.int64),
+        grad_rows=rng.standard_normal((total, NUM_FACTORS)),
+        client_offsets=offsets,
+        losses=rng.standard_normal(num_clients),
+        malicious_mask=rng.integers(0, 2, size=num_clients).astype(bool),
+        theta_gradients=theta_gradients,
+        theta_mask=theta_mask,
+        metadata=metadata,
+    )
+
+
+def _slice_sparse(updates, start, stop):
+    lo = int(updates.client_offsets[start])
+    hi = int(updates.client_offsets[stop])
+    return SparseRoundUpdates(
+        client_ids=updates.client_ids[start:stop],
+        item_ids=updates.item_ids[lo:hi],
+        grad_rows=updates.grad_rows[lo:hi],
+        client_offsets=updates.client_offsets[start : stop + 1] - lo,
+        losses=updates.losses[start:stop],
+        malicious_mask=updates.malicious_mask[start:stop],
+        theta_gradients=(
+            None if updates.theta_gradients is None else updates.theta_gradients[start:stop]
+        ),
+        theta_mask=None if updates.theta_mask is None else updates.theta_mask[start:stop],
+        metadata=list(updates.metadata[start:stop]) if updates.metadata else [],
+    )
+
+
+def _random_factored_round(rng, num_clients, with_theta, with_metadata, ridge):
+    counts = rng.integers(0, 6, size=num_clients)
+    total = int(counts.sum())
+    offsets = np.zeros(num_clients + 1, dtype=np.int64)
+    np.cumsum(counts, out=offsets[1:])
+    theta_gradients = None
+    theta_mask = None
+    if with_theta:
+        theta_mask = rng.integers(0, 2, size=num_clients).astype(bool)
+        theta_gradients = np.where(
+            theta_mask[:, None], rng.standard_normal((num_clients, 5)), 0.0
+        )
+    metadata = (
+        [{"tag": int(index)} for index in range(num_clients)] if with_metadata else []
+    )
+    ridge_matrix = rng.standard_normal((NUM_ITEMS, NUM_FACTORS)) if ridge != 0.0 else None
+    return FactoredRoundUpdates(
+        client_ids=rng.permutation(1000)[:num_clients].astype(np.int64),
+        item_ids=rng.integers(0, NUM_ITEMS, size=total).astype(np.int64),
+        coefficients=rng.standard_normal(total),
+        client_offsets=offsets,
+        user_vectors=rng.standard_normal((num_clients, NUM_FACTORS)),
+        losses=rng.standard_normal(num_clients),
+        malicious_mask=rng.integers(0, 2, size=num_clients).astype(bool),
+        ridge=ridge,
+        ridge_matrix=ridge_matrix,
+        theta_gradients=theta_gradients,
+        theta_mask=theta_mask,
+        metadata=metadata,
+    )
+
+
+def _slice_factored(updates, start, stop):
+    # Shards are ridge-free by contract; the shared ridge is re-applied by the
+    # merge, exactly like the sharded MF engine does.
+    lo = int(updates.client_offsets[start])
+    hi = int(updates.client_offsets[stop])
+    return FactoredRoundUpdates(
+        client_ids=updates.client_ids[start:stop],
+        item_ids=updates.item_ids[lo:hi],
+        coefficients=updates.coefficients[lo:hi],
+        client_offsets=updates.client_offsets[start : stop + 1] - lo,
+        user_vectors=updates.user_vectors[start:stop],
+        losses=updates.losses[start:stop],
+        malicious_mask=updates.malicious_mask[start:stop],
+        ridge=0.0,
+        ridge_matrix=None,
+        theta_gradients=(
+            None if updates.theta_gradients is None else updates.theta_gradients[start:stop]
+        ),
+        theta_mask=None if updates.theta_mask is None else updates.theta_mask[start:stop],
+        metadata=list(updates.metadata[start:stop]) if updates.metadata else [],
+    )
+
+
+def _assert_optional_equal(left, right):
+    if left is None:
+        assert right is None
+    else:
+        np.testing.assert_array_equal(left, right)
+
+
+# ---------------------------------------------------------------------- #
+# Merge == unsharded, exactly
+# ---------------------------------------------------------------------- #
+class TestMergeProperties:
+    @_SETTINGS
+    @given(
+        seed=st.integers(0, 2**32 - 1),
+        num_clients=st.integers(0, 24),
+        num_shards=st.integers(1, 6),
+        with_theta=st.booleans(),
+        with_metadata=st.booleans(),
+    )
+    def test_merge_sparse_equals_unsharded(
+        self, seed, num_clients, num_shards, with_theta, with_metadata
+    ):
+        rng = np.random.default_rng(seed)
+        whole = _random_sparse_round(rng, num_clients, with_theta, with_metadata)
+        shards = [
+            _slice_sparse(whole, start, stop)
+            for start, stop in partition_clients(num_clients, num_shards)
+        ]
+        merged = merge_sparse_rounds(shards)
+        np.testing.assert_array_equal(merged.client_ids, whole.client_ids)
+        np.testing.assert_array_equal(merged.item_ids, whole.item_ids)
+        np.testing.assert_array_equal(merged.grad_rows, whole.grad_rows)
+        np.testing.assert_array_equal(merged.client_offsets, whole.client_offsets)
+        np.testing.assert_array_equal(merged.losses, whole.losses)
+        np.testing.assert_array_equal(merged.malicious_mask, whole.malicious_mask)
+        _assert_optional_equal(merged.theta_gradients, whole.theta_gradients)
+        _assert_optional_equal(merged.theta_mask, whole.theta_mask)
+        assert merged.metadata == whole.metadata
+
+    @_SETTINGS
+    @given(
+        seed=st.integers(0, 2**32 - 1),
+        num_clients=st.integers(0, 24),
+        num_shards=st.integers(1, 6),
+        with_theta=st.booleans(),
+        with_metadata=st.booleans(),
+        with_ridge=st.booleans(),
+    )
+    def test_merge_factored_equals_unsharded(
+        self, seed, num_clients, num_shards, with_theta, with_metadata, with_ridge
+    ):
+        rng = np.random.default_rng(seed)
+        ridge = 0.25 if with_ridge else 0.0
+        whole = _random_factored_round(rng, num_clients, with_theta, with_metadata, ridge)
+        shards = [
+            _slice_factored(whole, start, stop)
+            for start, stop in partition_clients(num_clients, num_shards)
+        ]
+        merged = merge_factored_rounds(
+            shards, ridge=whole.ridge, ridge_matrix=whole.ridge_matrix
+        )
+        np.testing.assert_array_equal(merged.client_ids, whole.client_ids)
+        np.testing.assert_array_equal(merged.item_ids, whole.item_ids)
+        np.testing.assert_array_equal(merged.coefficients, whole.coefficients)
+        np.testing.assert_array_equal(merged.client_offsets, whole.client_offsets)
+        np.testing.assert_array_equal(merged.user_vectors, whole.user_vectors)
+        np.testing.assert_array_equal(merged.losses, whole.losses)
+        np.testing.assert_array_equal(merged.malicious_mask, whole.malicious_mask)
+        assert merged.ridge == whole.ridge
+        _assert_optional_equal(merged.ridge_matrix, whole.ridge_matrix)
+        _assert_optional_equal(merged.theta_gradients, whole.theta_gradients)
+        _assert_optional_equal(merged.theta_mask, whole.theta_mask)
+        assert merged.metadata == whole.metadata
+        # The factored encodings also agree once materialised to gradient rows.
+        np.testing.assert_array_equal(
+            merged.materialize().grad_rows, whole.materialize().grad_rows
+        )
+
+
+class TestMergeGuards:
+    def test_merge_sparse_rejects_empty_shard_list(self):
+        with pytest.raises(FederationError, match="at least one shard"):
+            merge_sparse_rounds([])
+
+    def test_merge_factored_rejects_empty_shard_list(self):
+        with pytest.raises(FederationError, match="at least one shard"):
+            merge_factored_rounds([])
+
+    def test_merge_factored_rejects_shards_with_tails(self):
+        rng = np.random.default_rng(0)
+        shard = _random_factored_round(rng, 2, False, False, 0.0).extended(
+            [
+                ClientUpdate(
+                    client_id=99,
+                    item_ids=np.array([0], dtype=np.int64),
+                    item_gradients=np.ones((1, NUM_FACTORS)),
+                )
+            ]
+        )
+        with pytest.raises(FederationError, match="dense tails"):
+            merge_factored_rounds([shard])
+
+    def test_merge_factored_rejects_ridged_shards(self):
+        rng = np.random.default_rng(1)
+        shard = _random_factored_round(rng, 2, False, False, 0.5)
+        with pytest.raises(FederationError, match="ridge-free"):
+            merge_factored_rounds([shard])
