@@ -75,7 +75,7 @@ def _build_snapshot(name: str):
     model = MatrixFactorizationModel(
         dataset.num_users, dataset.num_items, NUM_FACTORS, init_scale=1.0, rng=7
     )
-    score_block = lambda users: model.score_block(model.user_factors[users])  # noqa: E731
+    score_block = model.score_block  # id-based ScorerProtocol surface
     rng = SeedSequenceFactory(2022).generator(f"perf-eval-tests-{name}")
     test_items = rng.integers(0, dataset.num_items, size=dataset.num_users)
     target_items = np.argsort(dataset.item_popularity, kind="stable")[:NUM_TARGETS]

@@ -18,7 +18,10 @@ described in the paper from scratch on NumPy:
   against (Random, Bandwagon, Popular, EB, PipAttack, P1-P4),
 * :mod:`repro.defenses` — gradient-anomaly detectors and defense evaluation,
 * :mod:`repro.experiments` — the harness that regenerates every table and
-  figure of the paper's evaluation section.
+  figure of the paper's evaluation section,
+* :mod:`repro.serving` — the deployment layer: immutable factor snapshots,
+  a cached top-K query service behind the formal scoring protocol, and a
+  stdlib JSON/HTTP front end (``fedrecattack serve``).
 
 Quickstart
 ----------
@@ -52,7 +55,8 @@ from repro.experiments import (
 )
 from repro.federated import FederatedConfig, FederatedSimulation
 from repro.metrics import evaluate_accuracy, evaluate_exposure
-from repro.models import MatrixFactorizationModel
+from repro.models import MatrixFactorizationModel, ScorerProtocol
+from repro.serving import FactorSnapshot, RecommenderService
 
 __version__ = "1.0.0"
 
@@ -78,4 +82,7 @@ __all__ = [
     "evaluate_accuracy",
     "evaluate_exposure",
     "MatrixFactorizationModel",
+    "ScorerProtocol",
+    "FactorSnapshot",
+    "RecommenderService",
 ]

@@ -30,7 +30,11 @@ from repro.analysis.core import SourceFile
 
 __all__ = [
     "SwitchField",
+    "RegistrySwitch",
     "extract_switch_fields",
+    "registry_switches",
+    "class_field_defaults",
+    "cli_uses_switch_registry",
     "module_string_constants",
     "module_int_constants",
     "comparison_realizations",
@@ -46,6 +50,7 @@ __all__ = [
 #: Project-relative anchor files the cross-file contracts are rooted in.
 FEDERATED_CONFIG = "src/repro/federated/config.py"
 EXPERIMENT_CONFIG = "src/repro/experiments/config.py"
+SWITCH_REGISTRY_MODULE = "src/repro/federated/switches.py"
 GOLDEN_CASES = "tests/golden/golden_cases.py"
 CLI_MODULE = "src/repro/cli.py"
 README = "README.md"
@@ -53,7 +58,7 @@ README = "README.md"
 #: Modules whose string comparisons are *definitions* of the realization
 #: sets, not dispatch sites — excluded from dispatch evidence so the
 #: registry cannot trivially prove itself.
-CONFIG_MODULES = (FEDERATED_CONFIG, EXPERIMENT_CONFIG)
+CONFIG_MODULES = (FEDERATED_CONFIG, EXPERIMENT_CONFIG, SWITCH_REGISTRY_MODULE)
 
 
 @dataclass(frozen=True)
@@ -118,6 +123,127 @@ def extract_switch_fields(source: SourceFile) -> list[SwitchField]:
                     )
                 )
     return fields
+
+
+@dataclass(frozen=True)
+class RegistrySwitch:
+    """One ``SwitchSpec(...)`` entry of the declarative switch registry.
+
+    Extracted purely statically from the literal keyword arguments of each
+    ``SwitchSpec`` call — which is exactly why the registry module requires
+    them to be literals.
+    """
+
+    name: str
+    kind: str
+    default: str | int | float | None
+    choices: tuple[str, ...]
+    line: int
+
+
+def registry_switches(source: SourceFile) -> list[RegistrySwitch]:
+    """The switches declared by the ``SwitchSpec(...)`` registry in ``source``.
+
+    Returns an empty list when the file is absent or declares no specs —
+    the rules fall back to the legacy ``validate``-membership extraction
+    (:func:`extract_switch_fields`) in that case, so fixture trees without a
+    registry keep their historical behaviour.
+    """
+    if source.tree is None:
+        return []
+    switches: list[RegistrySwitch] = []
+    for node in ast.walk(source.tree):
+        if not (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id == "SwitchSpec"
+        ):
+            continue
+        keywords: dict[str, ast.expr] = {
+            keyword.arg: keyword.value for keyword in node.keywords if keyword.arg
+        }
+        name_node = keywords.get("name")
+        kind_node = keywords.get("kind")
+        if not (
+            isinstance(name_node, ast.Constant)
+            and isinstance(name_node.value, str)
+            and isinstance(kind_node, ast.Constant)
+            and isinstance(kind_node.value, str)
+        ):
+            continue
+        default: str | int | float | None = None
+        default_node = keywords.get("default")
+        if isinstance(default_node, ast.Constant) and isinstance(
+            default_node.value, (str, int, float, type(None))
+        ):
+            default = default_node.value
+        choices: tuple[str, ...] = ()
+        choices_node = keywords.get("choices")
+        if choices_node is not None:
+            choices = tuple(_string_literals(choices_node, {}))
+        switches.append(
+            RegistrySwitch(
+                name=name_node.value,
+                kind=kind_node.value,
+                default=default,
+                choices=choices,
+                line=node.lineno,
+            )
+        )
+    return switches
+
+
+def class_field_defaults(
+    source: SourceFile, class_name: str
+) -> dict[str, str | int | float | None]:
+    """Literal defaults of the annotated fields in ``class_name``'s body.
+
+    Only constant defaults (strings, ints, floats, ``None``) are recorded;
+    fields with computed defaults (``field(default_factory=...)``) are
+    simply absent — the parity rules only compare what is statically known.
+    """
+    if source.tree is None:
+        return {}
+    for node in ast.walk(source.tree):
+        if not (isinstance(node, ast.ClassDef) and node.name == class_name):
+            continue
+        defaults: dict[str, str | int | float | None] = {}
+        for statement in node.body:
+            if (
+                isinstance(statement, ast.AnnAssign)
+                and isinstance(statement.target, ast.Name)
+                and isinstance(statement.value, ast.Constant)
+                and isinstance(statement.value.value, (str, int, float, type(None)))
+                and not isinstance(statement.value.value, bool)
+            ):
+                defaults[statement.target.id] = statement.value.value
+        return defaults
+    return {}
+
+
+def cli_uses_switch_registry(source: SourceFile) -> bool:
+    """Whether the CLI registers its switch flags from the registry.
+
+    The registry idiom is ``parser.add_argument(spec.cli_flag, ...)`` inside
+    a loop over the registry — statically visible as an ``add_argument``
+    call whose first positional argument is an attribute access ending in
+    ``cli_flag``.
+    """
+    if source.tree is None:
+        return False
+    for node in ast.walk(source.tree):
+        if not (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == "add_argument"
+        ):
+            continue
+        if node.args and (
+            isinstance(node.args[0], ast.Attribute)
+            and node.args[0].attr == "cli_flag"
+        ):
+            return True
+    return False
 
 
 def module_string_constants(tree: ast.Module) -> dict[str, tuple[str, ...]]:

@@ -15,6 +15,8 @@ Rule id   Name                     Contract it protects
                                    and the README engine table
 ``R6``    export-consistency       ``__all__`` names exist and are unique
 ``R7``    typed-signatures         library signatures fully annotated, no bare generics
+``R8``    protocol-dispatch        models consumed through ScorerProtocol: no
+                                   isinstance on concrete model classes outside models/
 ========  =======================  ====================================================
 
 Plus the runner-level pseudo-rules ``SYNTAX`` (unparsable file) and ``SUP``
@@ -29,8 +31,18 @@ from repro.analysis.rules import (  # noqa: F401  (imported for registration)
     exactness,
     exports,
     parity,
+    protocol,
     rng,
     typing,
 )
 
-__all__ = ["densify", "docsync", "exactness", "exports", "parity", "rng", "typing"]
+__all__ = [
+    "densify",
+    "docsync",
+    "exactness",
+    "exports",
+    "parity",
+    "protocol",
+    "rng",
+    "typing",
+]

@@ -27,8 +27,16 @@ Checked per realization of every switch field:
    states every switch value explicitly, which is what makes deleting a
    case a lint failure.
 
-Integer-valued switches (``workers``) have no literal realization tuple in
-``validate`` to extract, so their proof obligations are registered
+The switch fields and their realizations are read from the declarative
+switch registry (``src/repro/federated/switches.py``) when the tree has one
+— every ``SwitchSpec(kind="choice", choices=(...))`` entry is a contract
+surface, and violations are anchored at its ``SwitchSpec`` call.  Trees
+without a registry (the lint fixtures, historical checkouts) fall back to
+extracting the literal membership checks from ``FederatedConfig.validate``
+as before.
+
+Integer-valued switches (``workers``) have no literal realization tuple to
+extract, so their proof obligations are registered
 explicitly in :data:`INT_SWITCHES`: each listed value needs the same three
 legs, with dispatch evidence being any comparison of the field against an
 int literal (an int switch dispatches on a threshold like
@@ -83,7 +91,27 @@ class SwitchParityRule(Rule):
         config = project.source(model.FEDERATED_CONFIG)
         if config is None:
             return
+        # Prefer the declarative registry; fall back to the legacy
+        # validate-membership extraction for trees without one.
+        anchor = config
         fields = model.extract_switch_fields(config)
+        registry = project.source(model.SWITCH_REGISTRY_MODULE)
+        if registry is not None:
+            declared = model.registry_switches(registry)
+            if declared:
+                anchor = registry
+                fields = [
+                    model.SwitchField(
+                        name=switch.name,
+                        realizations=switch.choices,
+                        default=switch.default
+                        if isinstance(switch.default, str)
+                        else None,
+                        line=switch.line,
+                    )
+                    for switch in declared
+                    if switch.kind == "choice" and switch.choices
+                ]
         if not fields:
             return
 
@@ -102,7 +130,7 @@ class SwitchParityRule(Rule):
                 if realization not in dispatched:
                     yield Violation(
                         rule=self.id,
-                        path=config.rel,
+                        path=anchor.rel,
                         line=switch.line,
                         message=(
                             f"switch {switch.name}={realization!r} has no dispatch "
@@ -115,7 +143,7 @@ class SwitchParityRule(Rule):
             if suites is None:
                 yield Violation(
                     rule=self.id,
-                    path=config.rel,
+                    path=anchor.rel,
                     line=switch.line,
                     message=(
                         f"switch field {switch.name!r} has no entry in "
@@ -135,7 +163,7 @@ class SwitchParityRule(Rule):
                 if not found_any:
                     yield Violation(
                         rule=self.id,
-                        path=config.rel,
+                        path=anchor.rel,
                         line=switch.line,
                         message=(
                             f"none of the registered equivalence suites for "
@@ -147,7 +175,7 @@ class SwitchParityRule(Rule):
                         if realization not in covered:
                             yield Violation(
                                 rule=self.id,
-                                path=config.rel,
+                                path=anchor.rel,
                                 line=switch.line,
                                 message=(
                                     f"switch {switch.name}={realization!r} is not "
@@ -159,7 +187,7 @@ class SwitchParityRule(Rule):
             if golden is None:
                 yield Violation(
                     rule=self.id,
-                    path=config.rel,
+                    path=anchor.rel,
                     line=switch.line,
                     message=(
                         f"cannot verify golden coverage of {switch.name!r}: "
@@ -172,7 +200,7 @@ class SwitchParityRule(Rule):
                     if realization not in pinned:
                         yield Violation(
                             rule=self.id,
-                            path=config.rel,
+                            path=anchor.rel,
                             line=switch.line,
                             message=(
                                 f"switch {switch.name}={realization!r} has no "

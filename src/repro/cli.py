@@ -1,15 +1,26 @@
 """Command-line interface.
 
-Three sub-commands are provided:
+Four sub-commands are provided:
 
 ``run``
     Run a single experiment (dataset + attack + knobs) and print the final
     exposure and accuracy metrics.
+``serve``
+    Run an experiment, freeze the trained factors into an immutable
+    :class:`~repro.serving.snapshot.FactorSnapshot` and serve top-K
+    recommendations over the stdlib JSON/HTTP front end
+    (``--max-requests 0`` binds, reports the address and exits — the smoke
+    mode CI uses).
 ``table``
     Regenerate one of the paper's tables (2-9, or ``defense`` for the
     robust-aggregation extension) and print it.
 ``figure``
     Regenerate the Figure 3 series and print a text summary.
+
+The engine-switch flags (``--engine``, ``--sampler``, ``--workers``, ...) are
+generated from the declarative registry
+(:data:`~repro.federated.switches.SWITCH_REGISTRY`) — one spec there yields
+the config fields, the validation and the CLI flag at once.
 
 Examples
 --------
@@ -17,6 +28,7 @@ Examples
 
     fedrecattack run --dataset ml-100k --attack fedrecattack --rho 0.05 --scale 0.1
     fedrecattack run --dataset steam-200k --sampler batched --fuse-rounds 4
+    fedrecattack serve --dataset ml-100k --scale 0.1 --epochs 5 --port 8080
     fedrecattack table 7 --profile bench
     fedrecattack figure 3 --dataset steam-200k
 """
@@ -25,12 +37,13 @@ from __future__ import annotations
 
 import argparse
 import sys
-from typing import Callable, Sequence
+from typing import Any, Callable, Sequence
 
 from repro.experiments.config import BENCH_PROFILE, PAPER_PROFILE, ExperimentConfig, ExperimentProfile
 from repro.experiments.figures import figure3_side_effects
 from repro.experiments.registry import available_attacks
 from repro.experiments.runner import run_experiment
+from repro.federated.switches import SWITCH_REGISTRY
 from repro.experiments.tables import (
     defense_table,
     table2_dataset_sizes,
@@ -43,7 +56,7 @@ from repro.experiments.tables import (
     table9_ablation,
 )
 
-__all__ = ["main", "build_parser"]
+__all__ = ["main", "build_parser", "add_switch_arguments", "switch_overrides"]
 
 _TABLES: dict[str, Callable[[ExperimentProfile], object]] = {
     "2": table2_dataset_sizes,
@@ -56,6 +69,47 @@ _TABLES: dict[str, Callable[[ExperimentProfile], object]] = {
     "9": table9_ablation,
     "defense": defense_table,
 }
+
+
+def add_switch_arguments(parser: argparse.ArgumentParser) -> None:
+    """Register one ``--flag`` per registry switch on ``parser``.
+
+    Flags, types, defaults and help text all come from
+    :data:`~repro.federated.switches.SWITCH_REGISTRY` — adding a switch to
+    the registry is the whole CLI story.  Choice switches deliberately do
+    *not* use argparse ``choices``: unknown values are rejected by
+    ``ExperimentConfig.validate()`` with a :class:`ConfigurationError`, the
+    same validation every programmatic entry point gets.
+    """
+    for spec in SWITCH_REGISTRY:
+        parser.add_argument(
+            spec.cli_flag,
+            type=spec.cli_type,
+            default=spec.default,
+            help=spec.help,
+        )
+
+
+def switch_overrides(args: argparse.Namespace) -> dict[str, Any]:
+    """The parsed switch values, keyed by registry field name."""
+    return {spec.name: getattr(args, spec.name) for spec in SWITCH_REGISTRY}
+
+
+def _add_experiment_arguments(parser: argparse.ArgumentParser) -> None:
+    """The experiment-description flags shared by ``run`` and ``serve``."""
+    parser.add_argument("--dataset", default="ml-100k", help="ml-100k, ml-1m or steam-200k")
+    parser.add_argument("--attack", default="fedrecattack", choices=available_attacks())
+    parser.add_argument("--scale", type=float, default=0.1, help="dataset down-scaling factor")
+    parser.add_argument("--xi", type=float, default=0.01, help="public interaction proportion")
+    parser.add_argument("--rho", type=float, default=0.05, help="malicious user proportion")
+    parser.add_argument("--kappa", type=int, default=60, help="max non-zero gradient rows")
+    parser.add_argument("--epochs", type=int, default=30, help="training epochs")
+    parser.add_argument("--factors", type=int, default=16, help="embedding dimension k")
+    parser.add_argument("--clients-per-round", type=int, default=64)
+    parser.add_argument("--targets", type=int, default=1, help="number of target items")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--data-dir", default=None, help="directory with the real dataset files")
+    add_switch_arguments(parser)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -72,61 +126,25 @@ def build_parser() -> argparse.ArgumentParser:
     subparsers = parser.add_subparsers(dest="command", required=True)
 
     run_parser = subparsers.add_parser("run", help="run a single experiment")
-    run_parser.add_argument("--dataset", default="ml-100k", help="ml-100k, ml-1m or steam-200k")
-    run_parser.add_argument("--attack", default="fedrecattack", choices=available_attacks())
-    run_parser.add_argument("--scale", type=float, default=0.1, help="dataset down-scaling factor")
-    run_parser.add_argument("--xi", type=float, default=0.01, help="public interaction proportion")
-    run_parser.add_argument("--rho", type=float, default=0.05, help="malicious user proportion")
-    run_parser.add_argument("--kappa", type=int, default=60, help="max non-zero gradient rows")
-    run_parser.add_argument("--epochs", type=int, default=30, help="training epochs")
-    run_parser.add_argument("--factors", type=int, default=16, help="embedding dimension k")
-    run_parser.add_argument("--clients-per-round", type=int, default=64)
-    run_parser.add_argument("--targets", type=int, default=1, help="number of target items")
-    run_parser.add_argument("--seed", type=int, default=0)
-    run_parser.add_argument("--data-dir", default=None, help="directory with the real dataset files")
-    # Engine knobs.  Deliberately not argparse choices: unknown values are
-    # rejected by ExperimentConfig.validate() with a ConfigurationError, the
-    # same validation every programmatic entry point gets.
-    run_parser.add_argument(
-        "--engine",
-        default="vectorized",
-        help="round engine: 'vectorized' (default) or 'loop'",
+    _add_experiment_arguments(run_parser)
+
+    serve_parser = subparsers.add_parser(
+        "serve", help="train once, then serve top-K recommendations over HTTP"
     )
-    run_parser.add_argument(
-        "--sampler",
-        default="permutation",
-        help="negative-sampling engine: 'permutation' (default) or 'batched'",
+    _add_experiment_arguments(serve_parser)
+    serve_parser.add_argument("--host", default="127.0.0.1", help="interface to bind")
+    serve_parser.add_argument("--port", type=int, default=8080, help="port to bind (0: ephemeral)")
+    serve_parser.add_argument(
+        "--top-k", type=int, default=10, help="default recommendation list length"
     )
-    run_parser.add_argument(
-        "--eval-engine",
-        default="vectorized",
-        help="evaluation engine: 'vectorized' (default) or 'loop'",
-    )
-    run_parser.add_argument(
-        "--eval-sampler",
-        default="per-user",
-        help=(
-            "sampled-protocol negative stream: 'per-user' (default, "
-            "historical seed histories) or 'batched' (stacked per-block draw)"
-        ),
-    )
-    run_parser.add_argument(
-        "--fuse-rounds",
+    serve_parser.add_argument(
+        "--max-requests",
         type=int,
-        default=1,
-        help="cross-round fusion window (>1 requires the vectorized engine)",
-    )
-    run_parser.add_argument(
-        "--workers",
-        type=int,
-        default=1,
-        help="worker processes sharding each round (bit-identical to 1)",
-    )
-    run_parser.add_argument(
-        "--worker-timeout",
-        type=float,
         default=None,
-        help="seconds to wait for a sharded round before aborting (default: forever)",
+        help=(
+            "stop after this many requests (default: serve until interrupted; "
+            "0: bind, report the address and exit — smoke mode)"
+        ),
     )
 
     table_parser = subparsers.add_parser("table", help="regenerate one of the paper's tables")
@@ -145,8 +163,9 @@ def _profile_from_name(name: str) -> ExperimentProfile:
     return PAPER_PROFILE if name == "paper" else BENCH_PROFILE
 
 
-def _command_run(args: argparse.Namespace) -> int:
-    config = ExperimentConfig(
+def _config_from_args(args: argparse.Namespace) -> ExperimentConfig:
+    """Build the experiment config shared by ``run`` and ``serve``."""
+    return ExperimentConfig(
         dataset=args.dataset,
         scale=args.scale,
         data_dir=args.data_dir,
@@ -158,15 +177,13 @@ def _command_run(args: argparse.Namespace) -> int:
         num_factors=args.factors,
         num_epochs=args.epochs,
         clients_per_round=args.clients_per_round,
-        engine=args.engine,
-        sampler=args.sampler,
-        eval_engine=args.eval_engine,
-        eval_sampler=args.eval_sampler,
-        fuse_rounds=args.fuse_rounds,
-        workers=args.workers,
-        worker_timeout=args.worker_timeout,
         seed=args.seed,
+        **switch_overrides(args),
     )
+
+
+def _command_run(args: argparse.Namespace) -> int:
+    config = _config_from_args(args)
     result = run_experiment(config)
     print(f"dataset={args.dataset} attack={args.attack} rho={config.rho} xi={config.xi}")
     print(f"  malicious clients: {result.num_malicious}")
@@ -177,6 +194,31 @@ def _command_run(args: argparse.Namespace) -> int:
         print(f"  NDCG@10: {result.target_ndcg_at_10:.4f}")
     if result.accuracy is not None:
         print(f"  HR@10:   {result.hr_at_10:.4f}")
+    return 0
+
+
+def _command_serve(args: argparse.Namespace) -> int:
+    # Imported here so the plain run/table/figure paths never touch the
+    # serving layer.
+    from repro.serving import RecommenderService, run_http_server
+
+    config = _config_from_args(args)
+    result = run_experiment(config)
+    assert result.snapshot is not None and result.train is not None
+    service = RecommenderService(result.snapshot, result.train, top_k=args.top_k)
+    print(
+        f"serving dataset={args.dataset} snapshot_version={result.snapshot.version} "
+        f"users={result.snapshot.n_users} items={result.snapshot.n_items}"
+    )
+    if args.max_requests == 0:
+        # Smoke mode: prove we can bind (and tear down) without serving.
+        host, port = run_http_server(
+            service, args.host, args.port, max_requests=0
+        )
+        print(f"bound http://{host}:{port} (max-requests=0, exiting)")
+        return 0
+    print(f"listening on http://{args.host}:{args.port} (Ctrl-C to stop)")
+    run_http_server(service, args.host, args.port, max_requests=args.max_requests)
     return 0
 
 
@@ -211,6 +253,8 @@ def main(argv: Sequence[str] | None = None) -> int:
     args = parser.parse_args(argv)
     if args.command == "run":
         return _command_run(args)
+    if args.command == "serve":
+        return _command_serve(args)
     if args.command == "table":
         return _command_table(args)
     if args.command == "figure":

@@ -34,3 +34,7 @@ class AttackError(ReproError):
 
 class ExperimentError(ReproError):
     """Raised when an experiment cannot be assembled or executed."""
+
+
+class ServingError(ReproError):
+    """Raised when the recommendation serving layer is misused."""

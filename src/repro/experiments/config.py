@@ -21,6 +21,7 @@ from typing import Any
 
 from repro.exceptions import ConfigurationError
 from repro.federated.config import FederatedConfig
+from repro.federated.switches import SWITCH_REGISTRY
 
 __all__ = ["ExperimentConfig", "ExperimentProfile", "PAPER_PROFILE", "BENCH_PROFILE"]
 
@@ -89,7 +90,13 @@ class ExperimentConfig:
         self.to_federated_config().validate()
 
     def to_federated_config(self) -> FederatedConfig:
-        """The federated-protocol configuration implied by this experiment."""
+        """The federated-protocol configuration implied by this experiment.
+
+        The engine switches are forwarded generically from the declarative
+        registry (:data:`~repro.federated.switches.SWITCH_REGISTRY`), so a
+        new switch added there flows through without touching this method.
+        """
+        switches = {spec.name: getattr(self, spec.name) for spec in SWITCH_REGISTRY}
         return FederatedConfig(
             num_factors=self.num_factors,
             learning_rate=self.learning_rate,
@@ -100,15 +107,9 @@ class ExperimentConfig:
             l2_reg=self.l2_reg,
             aggregator=self.aggregator,
             aggregator_options=dict(self.aggregator_options),
-            engine=self.engine,
-            sampler=self.sampler,
-            eval_engine=self.eval_engine,
-            eval_sampler=self.eval_sampler,
-            fuse_rounds=self.fuse_rounds,
-            workers=self.workers,
-            worker_timeout=self.worker_timeout,
             use_learnable_scorer=self.use_learnable_scorer,
             scorer_hidden_units=self.scorer_hidden_units,
+            **switches,
         )
 
     def with_overrides(self, **kwargs: Any) -> "ExperimentConfig":

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -25,6 +26,10 @@ from repro.federated.simulation import FederatedSimulation, UpdateObserver
 from repro.metrics.accuracy import AccuracyReport
 from repro.metrics.exposure import ExposureReport
 from repro.rng import SeedSequenceFactory
+from repro.serving.snapshot import FactorSnapshot
+
+if TYPE_CHECKING:
+    from repro.data.dataset import InteractionDataset
 
 __all__ = ["ExperimentResult", "run_experiment"]
 
@@ -39,6 +44,12 @@ class ExperimentResult:
     history: TrainingHistory
     target_items: np.ndarray
     num_malicious: int
+    #: Training split used by the run — the masking source when the trained
+    #: factors are put behind a :class:`~repro.serving.service.RecommenderService`.
+    train: "InteractionDataset | None" = None
+    #: Immutable export of the final trained factors, ready to serve
+    #: (``fedrecattack serve`` hands it straight to the service).
+    snapshot: FactorSnapshot | None = None
 
     @property
     def er_at_5(self) -> float:
@@ -142,4 +153,6 @@ def run_experiment(
         history=outcome.history,
         target_items=target_items,
         num_malicious=num_malicious,
+        train=split.train,
+        snapshot=FactorSnapshot.from_result(outcome),
     )

@@ -6,6 +6,7 @@ from dataclasses import dataclass, field
 from typing import Any
 
 from repro.exceptions import ConfigurationError
+from repro.federated.switches import SWITCH_REGISTRY
 
 __all__ = ["FederatedConfig"]
 
@@ -167,24 +168,10 @@ class FederatedConfig:
             raise ConfigurationError("init_scale must be positive")
         if self.scorer_hidden_units <= 0:
             raise ConfigurationError("scorer_hidden_units must be positive")
-        if self.engine not in ("loop", "vectorized"):
-            raise ConfigurationError(
-                f"engine must be 'loop' or 'vectorized', got {self.engine!r}"
-            )
-        if self.sampler not in ("permutation", "batched"):
-            raise ConfigurationError(
-                f"sampler must be 'permutation' or 'batched', got {self.sampler!r}"
-            )
-        if self.eval_engine not in ("loop", "vectorized"):
-            raise ConfigurationError(
-                f"eval_engine must be 'loop' or 'vectorized', got {self.eval_engine!r}"
-            )
-        if self.eval_sampler not in ("per-user", "batched"):
-            raise ConfigurationError(
-                f"eval_sampler must be 'per-user' or 'batched', got {self.eval_sampler!r}"
-            )
-        if self.fuse_rounds < 1:
-            raise ConfigurationError("fuse_rounds must be at least 1")
+        # Per-switch value checks come from the declarative registry; only
+        # the cross-switch constraints below are spelled out by hand.
+        for spec in SWITCH_REGISTRY:
+            spec.validate_value(getattr(self, spec.name))
         if self.fuse_rounds > 1 and self.engine != "vectorized":
             raise ConfigurationError(
                 "fuse_rounds > 1 requires the vectorized engine "
@@ -194,12 +181,6 @@ class FederatedConfig:
             raise ConfigurationError(
                 "fuse_rounds > 1 is only supported for plain MF "
                 "(the scorer path has no factored round representation)"
-            )
-        if self.workers < 1:
-            raise ConfigurationError("workers must be at least 1")
-        if self.worker_timeout is not None and self.worker_timeout <= 0:
-            raise ConfigurationError(
-                "worker_timeout must be positive (or None to wait forever)"
             )
         if self.workers > 1 and self.engine == "vectorized" and self.use_learnable_scorer:
             raise ConfigurationError(

@@ -54,6 +54,7 @@ from repro.rng import SeedSequenceFactory
 
 if TYPE_CHECKING:  # pragma: no cover - import for type checkers only
     from repro.attacks.base import Attack
+    from repro.models.neural import MLPScorer
 
 __all__ = ["FederatedSimulation", "SimulationResult"]
 
@@ -62,13 +63,23 @@ UpdateObserver = Callable[[int, list[ClientUpdate]], None]
 
 @dataclass
 class SimulationResult:
-    """Outcome of one federated training run."""
+    """Outcome of one federated training run.
+
+    ``scorer`` is a snapshot copy of the server's MLP interaction function
+    (``None`` for plain MF) and ``rounds_applied`` the server's authoritative
+    protocol-round counter — together with ``user_factors`` /
+    ``item_factors`` this is everything
+    :meth:`repro.serving.FactorSnapshot.from_result` needs to rebuild the
+    trained model for serving.
+    """
 
     history: TrainingHistory
     exposure: ExposureReport | None
     accuracy: AccuracyReport | None
     item_factors: np.ndarray
     user_factors: np.ndarray
+    scorer: "MLPScorer | None" = None
+    rounds_applied: int = 0
 
     @property
     def final_er_at_5(self) -> float:
@@ -340,6 +351,8 @@ class FederatedSimulation:
             accuracy=history.final_accuracy(),
             item_factors=self.server.item_factors.copy(),
             user_factors=self.gather_user_factors(),
+            scorer=self.server.snapshot_scorer(),
+            rounds_applied=self.server.rounds_applied,
         )
 
     def _run_epoch(self) -> float:

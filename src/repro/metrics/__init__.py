@@ -21,6 +21,8 @@ from repro.metrics.evaluation import (
     EVAL_SAMPLERS,
     EvaluationResult,
     evaluate_snapshot,
+    resolve_score_block,
+    user_blocks,
 )
 from repro.metrics.exposure import (
     ExposureReport,
@@ -38,6 +40,8 @@ __all__ = [
     "EVAL_SAMPLERS",
     "DEFAULT_BLOCK_SIZE",
     "evaluate_snapshot",
+    "resolve_score_block",
+    "user_blocks",
     "exposure_ratio_at_k",
     "target_ndcg_at_k",
     "evaluate_exposure",

@@ -55,6 +55,7 @@ from repro.metrics.accuracy import (
 )
 from repro.metrics.exposure import ExposureReport, _validate_targets, evaluate_exposure
 from repro.metrics.ranking import cumulative_discounts
+from repro.models.base import ScorerProtocol
 from repro.rng import ensure_rng
 
 if TYPE_CHECKING:
@@ -63,12 +64,33 @@ if TYPE_CHECKING:
 __all__ = [
     "EvaluationResult",
     "evaluate_snapshot",
+    "resolve_score_block",
+    "user_blocks",
     "EVAL_ENGINES",
     "EVAL_SAMPLERS",
     "DEFAULT_BLOCK_SIZE",
 ]
 
 ScoreBlockFunction = Callable[[np.ndarray], np.ndarray]
+
+#: A scoring source: either a model implementing the formal id-based
+#: :class:`~repro.models.base.ScorerProtocol`, or a bare block-score callback
+#: (the legacy surface, still used for precomputed score matrices in tests).
+ScoreSource = ScorerProtocol | ScoreBlockFunction
+
+
+def resolve_score_block(source: ScoreSource) -> ScoreBlockFunction:
+    """Normalise a scoring source into a block-score callback.
+
+    Protocol objects dispatch through their bound ``score_block`` method;
+    plain callables pass through unchanged.  This structural check is the
+    *only* sanctioned model dispatch outside ``models/`` — repro-lint R8
+    forbids ``isinstance`` checks against concrete model classes, which is
+    what keeps MF, the MLP adapter and any future scorer on one code path.
+    """
+    if isinstance(source, ScorerProtocol):
+        return source.score_block
+    return source
 
 #: The valid values of every ``eval_engine`` switch in the package.
 EVAL_ENGINES = ("loop", "vectorized")
@@ -96,7 +118,7 @@ class EvaluationResult:
 
 
 def evaluate_snapshot(
-    score_block: ScoreBlockFunction,
+    score_block: ScoreSource,
     train: InteractionDataset,
     *,
     test_items: np.ndarray | None = None,
@@ -113,10 +135,12 @@ def evaluate_snapshot(
     Parameters
     ----------
     score_block:
-        Maps an array of user ids to their stacked ``(B, num_items)`` score
-        matrix (e.g. :meth:`MatrixFactorizationModel.score_block` over the
-        gathered user vectors).  Both engines obtain every score through
-        this callback, block by block.
+        The scoring source: a model implementing the id-based
+        :class:`~repro.models.base.ScorerProtocol` (dispatched through
+        :func:`resolve_score_block`), or a bare callback mapping an array of
+        user ids to their stacked ``(B, num_items)`` score matrix.  Both
+        engines obtain every score through the resolved callback, block by
+        block.
     train:
         Training interactions; positives are masked out of the rankings and
         the shared :class:`~repro.data.store.InteractionStore` provides the
@@ -159,19 +183,26 @@ def evaluate_snapshot(
         raise ModelError(f"block_size must be positive, got {block_size}")
     if test_items is None and target_items is None:
         return EvaluationResult(accuracy=None, exposure=None)
+    resolved = resolve_score_block(score_block)
     if engine == "loop":
         return _evaluate_loop(
-            score_block, train, test_items, target_items, k, num_negatives, rng,
+            resolved, train, test_items, target_items, k, num_negatives, rng,
             eval_sampler, block_size,
         )
     return _evaluate_vectorized(
-        score_block, train, test_items, target_items, k, num_negatives, rng,
+        resolved, train, test_items, target_items, k, num_negatives, rng,
         eval_sampler, block_size,
     )
 
 
-def _user_blocks(num_users: int, block_size: int) -> list[tuple[int, int]]:
-    """The canonical block partitioning shared by both engines."""
+def user_blocks(num_users: int, block_size: int) -> list[tuple[int, int]]:
+    """The canonical ``(lo, hi)`` block partitioning shared by both engines.
+
+    Public because bit-reproducible serving depends on it: BLAS results are
+    not row-stable across GEMM shapes, so any consumer that wants its floats
+    to coincide with :func:`evaluate_snapshot` (the serving layer's block
+    cache does) must score *whole* blocks of exactly this partitioning.
+    """
     return [
         (start, min(num_users, start + block_size))
         for start in range(0, num_users, block_size)
@@ -203,7 +234,7 @@ def _evaluate_loop(
     scores = np.concatenate(
         [
             np.asarray(score_block(np.arange(lo, hi, dtype=np.int64)), dtype=np.float64)
-            for lo, hi in _user_blocks(train.num_users, block_size)
+            for lo, hi in user_blocks(train.num_users, block_size)
         ],
         axis=0,
     )
@@ -254,7 +285,7 @@ def _predraw_batched_negatives(
     store = train.interaction_store()
     values_parts: list[np.ndarray] = []
     counts_parts: list[np.ndarray] = []
-    for lo, hi in _user_blocks(train.num_users, block_size):
+    for lo, hi in user_blocks(train.num_users, block_size):
         values, offsets = draw_ranking_negatives_batched(
             generator, store, np.arange(lo, hi, dtype=np.int64),
             test_items[lo:hi], num_negatives,
@@ -351,7 +382,7 @@ def _evaluate_vectorized(
     indptr, indices = store.indptr, store.indices
     row_lengths = store.degrees
 
-    for lo, hi in _user_blocks(num_users, block_size):
+    for lo, hi in user_blocks(num_users, block_size):
         users = np.arange(lo, hi, dtype=np.int64)
         scores = np.asarray(score_block(users), dtype=np.float64)
         if scores.shape != (hi - lo, num_items):

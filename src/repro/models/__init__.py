@@ -7,7 +7,7 @@ optional learnable interaction function (a small MLP scorer) demonstrating
 the paper's claim that the attack generalises to deep recommenders.
 """
 
-from repro.models.base import Recommender
+from repro.models.base import Recommender, ScorerProtocol
 from repro.models.losses import (
     bpr_coefficients_batched,
     bpr_loss,
@@ -19,12 +19,14 @@ from repro.models.losses import (
     sigmoid,
 )
 from repro.models.mf import MatrixFactorizationModel
-from repro.models.neural import MLPScorer
+from repro.models.neural import MLPRecommender, MLPScorer
 
 __all__ = [
     "Recommender",
+    "ScorerProtocol",
     "MatrixFactorizationModel",
     "MLPScorer",
+    "MLPRecommender",
     "BPRGradients",
     "BatchedBPRGradients",
     "BatchedBPRCoefficients",

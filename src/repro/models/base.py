@@ -1,4 +1,4 @@
-"""Abstract recommender interface.
+"""Abstract recommender interface and the formal scoring protocol.
 
 Every recommender in the library exposes the same small surface: score all
 items for a user feature vector and produce top-K recommendations excluding
@@ -6,17 +6,71 @@ already-interacted items.  The federated simulator and the attacks only rely
 on this interface, which is what makes the attack model-agnostic (the paper's
 Section III-A notes the attack applies to any collaborative-filtering
 recommender).
+
+:class:`ScorerProtocol` is the *structural* half of that contract: the
+id-based scoring surface the evaluation engine and the serving layer consume.
+It is a :class:`typing.Protocol`, not a base class — MF implements it by
+inheritance from :class:`Recommender`, the MLP path through the standalone
+:class:`~repro.models.neural.MLPRecommender` adapter, and any future scorer
+qualifies by shape alone.  Consumers dispatch on the protocol (one
+``isinstance(source, ScorerProtocol)`` check is the sanctioned idiom), never
+on concrete model classes — repro-lint R8 enforces exactly that outside
+``models/``.
 """
 
 from __future__ import annotations
 
+import warnings
 from abc import ABC, abstractmethod
+from typing import Protocol, runtime_checkable
 
 import numpy as np
 
 from repro.exceptions import ModelError
 
-__all__ = ["Recommender"]
+__all__ = ["Recommender", "ScorerProtocol"]
+
+
+@runtime_checkable
+class ScorerProtocol(Protocol):
+    """The id-based scoring surface served models must expose.
+
+    Implementations score *stored* users by id — the caller never sees the
+    feature vectors, which is what lets an immutable factor snapshot, a live
+    MF model and an MLP-scored model serve identically.  The contract:
+
+    * ``n_users`` / ``n_items`` give the catalog dimensions,
+    * ``score(user, items)`` returns one user's scores for the requested
+      items (all items when ``None``),
+    * ``score_block(users)`` returns the stacked ``(B, n_items)`` score
+      matrix of a block of user ids — the primitive of the vectorized
+      evaluation engine and of :class:`~repro.serving.RecommenderService`.
+      For bit-reproducible rankings, implementations must compute a block's
+      scores in one stacked pass (BLAS results are not row-stable across
+      different GEMM shapes, so per-row recomputation would drift).
+
+    The protocol is ``runtime_checkable``: ``isinstance(x, ScorerProtocol)``
+    checks the attribute surface, which is all the structural dispatch in
+    :func:`repro.metrics.evaluation.resolve_score_block` needs.
+    """
+
+    @property
+    def n_users(self) -> int:
+        """Number of users the scorer can score."""
+        ...
+
+    @property
+    def n_items(self) -> int:
+        """Number of items every score row covers."""
+        ...
+
+    def score(self, user: int, items: np.ndarray | None = None) -> np.ndarray:
+        """Scores of ``items`` (all items if ``None``) for one stored user."""
+        ...
+
+    def score_block(self, users: np.ndarray, /) -> np.ndarray:
+        """Stacked ``(B, n_items)`` scores for a 1-D block of user ids."""
+        ...
 
 
 class Recommender(ABC):
@@ -41,15 +95,26 @@ class Recommender(ABC):
     def score_items(self, user_vector: np.ndarray, items: np.ndarray | None = None) -> np.ndarray:
         """Predicted rating scores of ``items`` (all items if ``None``)."""
 
-    def score_block(self, user_vectors: np.ndarray) -> np.ndarray:
-        """Score a whole block of users against the full catalog at once.
+    def score_block(self, user_vectors: np.ndarray, /) -> np.ndarray:
+        """Score a whole block of user *vectors* against the full catalog.
 
-        ``user_vectors`` has shape ``(B, k)`` and the result shape
-        ``(B, num_items)``.  This is the batched counterpart of
-        :meth:`score_items` consumed by the vectorized evaluation engine;
-        subclasses should override it with a stacked implementation (one
-        matrix product for MF) — this generic fallback scores row by row.
+        .. deprecated::
+            This is the legacy duck-typed fallback — ``user_vectors`` has
+            shape ``(B, k)`` and the result shape ``(B, num_items)``, scored
+            row by row.  New scorers implement the id-based
+            :meth:`ScorerProtocol.score_block` instead (as
+            :class:`~repro.models.mf.MatrixFactorizationModel` does), which
+            is what the evaluation engine and the serving layer dispatch on.
+            This shim survives so existing vector-based subclasses keep
+            working, but it warns.
         """
+        warnings.warn(
+            "the generic Recommender.score_block(user_vectors) fallback is "
+            "deprecated; implement the id-based "
+            "ScorerProtocol.score_block(users) surface instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         user_vectors = np.atleast_2d(np.asarray(user_vectors, dtype=np.float64))
         return np.stack([self.score_items(vector) for vector in user_vectors])
 

@@ -5,6 +5,13 @@ The interaction function is the fixed dot product of Eq. (1):
 matrix ``V`` while every client keeps its own row of ``U``; this class is the
 parameter container plus the scoring/recommendation logic shared by both
 sides and by the attacker.
+
+The model implements the id-based
+:class:`~repro.models.base.ScorerProtocol`: :meth:`score_block` takes user
+*ids* and scores them in one ``U[users] @ V.T`` product — bit-identical to
+the historical vector-based idiom ``score_block(user_factors[users])``,
+since the gather and the GEMM are the same operations in the same order.
+Vector-based block scoring remains available as :meth:`score_matrix`.
 """
 
 from __future__ import annotations
@@ -54,6 +61,41 @@ class MatrixFactorizationModel(Recommender):
         self.user_factors = generator.normal(0.0, init_scale, size=(num_users, num_factors))
         self.item_factors = generator.normal(0.0, init_scale, size=(num_items, num_factors))
 
+    @classmethod
+    def from_factors(
+        cls, user_factors: np.ndarray, item_factors: np.ndarray
+    ) -> "MatrixFactorizationModel":
+        """A model wrapping existing factor matrices, without drawing RNG.
+
+        The serving layer rebuilds a scorer around an immutable
+        :class:`~repro.serving.FactorSnapshot`; routing that through
+        ``__init__`` would burn generator draws (and copy) for factors that
+        are immediately replaced.  The given arrays are adopted as-is (no
+        copy), so read-only snapshot views stay read-only — every scoring
+        path only reads them.
+        """
+        user_factors = np.asarray(user_factors, dtype=np.float64)
+        item_factors = np.asarray(item_factors, dtype=np.float64)
+        if user_factors.ndim != 2 or item_factors.ndim != 2:
+            raise ModelError(
+                "factor matrices must be 2-D, got shapes "
+                f"{user_factors.shape} and {item_factors.shape}"
+            )
+        if user_factors.shape[1] != item_factors.shape[1]:
+            raise ModelError(
+                "user and item factors must share the feature dimension, got "
+                f"{user_factors.shape} and {item_factors.shape}"
+            )
+        if min(user_factors.shape[0], item_factors.shape[0], user_factors.shape[1]) <= 0:
+            raise ModelError("factor matrices must be non-empty")
+        model = cls.__new__(cls)
+        model._num_users = int(user_factors.shape[0])
+        model._num_items = int(item_factors.shape[0])
+        model._num_factors = int(user_factors.shape[1])
+        model.user_factors = user_factors
+        model.item_factors = item_factors
+        return model
+
     # ------------------------------------------------------------------ #
     # Recommender interface
     # ------------------------------------------------------------------ #
@@ -69,6 +111,23 @@ class MatrixFactorizationModel(Recommender):
     def num_factors(self) -> int:
         return self._num_factors
 
+    # ------------------------------------------------------------------ #
+    # ScorerProtocol surface (id-based)
+    # ------------------------------------------------------------------ #
+    @property
+    def n_users(self) -> int:
+        """Protocol alias of :attr:`num_users`."""
+        return self._num_users
+
+    @property
+    def n_items(self) -> int:
+        """Protocol alias of :attr:`num_items`."""
+        return self._num_items
+
+    def score(self, user: int, items: np.ndarray | None = None) -> np.ndarray:
+        """Scores of ``items`` (all items if ``None``) for a stored user id."""
+        return self.score_user(int(user), items)
+
     def score_items(self, user_vector: np.ndarray, items: np.ndarray | None = None) -> np.ndarray:
         """Predicted scores ``u . v_j`` for the requested items."""
         user_vector = np.asarray(user_vector, dtype=np.float64)
@@ -80,19 +139,21 @@ class MatrixFactorizationModel(Recommender):
             return self.item_factors @ user_vector
         return self.item_factors[np.asarray(items, dtype=np.int64)] @ user_vector
 
-    def score_block(self, user_vectors: np.ndarray) -> np.ndarray:
-        """Stacked scores ``U_block V^T`` for a ``(B, k)`` block of user vectors.
+    def score_block(self, users: np.ndarray, /) -> np.ndarray:
+        """Stacked scores ``U[users] V^T`` for a 1-D block of user *ids*.
 
         One matrix product replaces ``B`` :meth:`score_items` calls; this is
-        the scoring primitive of the vectorized evaluation engine.
+        the scoring primitive of the vectorized evaluation engine and the
+        serving layer (:class:`~repro.models.base.ScorerProtocol`).  The
+        floats are bit-identical to the historical vector-based call
+        ``score_block(self.user_factors[users])`` — same gather, same GEMM.
         """
-        user_vectors = np.atleast_2d(np.asarray(user_vectors, dtype=np.float64))
-        if user_vectors.shape[1] != self._num_factors:
-            raise ModelError(
-                f"user_vectors must have shape (B, {self._num_factors}), "
-                f"got {user_vectors.shape}"
-            )
-        return user_vectors @ self.item_factors.T
+        users = np.asarray(users, dtype=np.int64)
+        if users.ndim != 1:
+            raise ModelError(f"users must be a 1-D array of user ids, got shape {users.shape}")
+        if users.size and (int(users.min()) < 0 or int(users.max()) >= self._num_users):
+            raise ModelError(f"user ids out of range [0, {self._num_users})")
+        return self.user_factors[users] @ self.item_factors.T
 
     # ------------------------------------------------------------------ #
     # Convenience accessors

@@ -22,7 +22,7 @@ from repro.exceptions import ModelError
 from repro.models.losses import segment_sum
 from repro.rng import ensure_rng
 
-__all__ = ["MLPScorer", "MLPScorerGradients"]
+__all__ = ["MLPScorer", "MLPScorerGradients", "MLPRecommender"]
 
 
 @dataclass
@@ -261,3 +261,84 @@ class MLPScorer:
                 f"expected feature dimension {self.num_factors}, got {user_vectors.shape[1]}"
             )
         return user_vectors, item_vectors
+
+
+class MLPRecommender:
+    """Id-based scoring adapter binding factor matrices to an :class:`MLPScorer`.
+
+    The scorer kernel itself is stateless with respect to users — it maps
+    aligned (or crossed) batches of feature vectors to scores.  Serving and
+    evaluation, however, consume the id-based
+    :class:`~repro.models.base.ScorerProtocol`.  This adapter closes the gap:
+    it holds the user/item factor matrices alongside the scorer and exposes
+    ``score`` / ``score_block`` over user *ids*, so the MLP path serves
+    through exactly the same protocol as plain MF.
+
+    Deliberately **not** a :class:`~repro.models.base.Recommender` subclass:
+    protocol conformance is structural, which is the point of the redesign —
+    any object with the right surface serves, inheritance not required.
+
+    The factor arrays are adopted as-is (no copy); every scoring path only
+    reads them, so read-only snapshot views stay safe.
+    """
+
+    def __init__(
+        self,
+        user_factors: np.ndarray,
+        item_factors: np.ndarray,
+        scorer: MLPScorer,
+    ) -> None:
+        user_factors = np.asarray(user_factors, dtype=np.float64)
+        item_factors = np.asarray(item_factors, dtype=np.float64)
+        if user_factors.ndim != 2 or item_factors.ndim != 2:
+            raise ModelError(
+                "factor matrices must be 2-D, got shapes "
+                f"{user_factors.shape} and {item_factors.shape}"
+            )
+        if (
+            user_factors.shape[1] != scorer.num_factors
+            or item_factors.shape[1] != scorer.num_factors
+        ):
+            raise ModelError(
+                f"factor matrices must have feature dimension {scorer.num_factors}, "
+                f"got {user_factors.shape} and {item_factors.shape}"
+            )
+        self.user_factors = user_factors
+        self.item_factors = item_factors
+        self.scorer = scorer
+
+    @property
+    def n_users(self) -> int:
+        """Number of users the adapter can score."""
+        return int(self.user_factors.shape[0])
+
+    @property
+    def n_items(self) -> int:
+        """Number of items every score row covers."""
+        return int(self.item_factors.shape[0])
+
+    def score(self, user: int, items: np.ndarray | None = None) -> np.ndarray:
+        """Scores of ``items`` (all items if ``None``) for one stored user.
+
+        Computed through the same split-first-layer block kernel as
+        :meth:`score_block`, so ``score(u)`` is bit-identical to
+        ``score_block([u])[0]`` — single lookups and blocked serving agree.
+        """
+        user = int(user)
+        if user < 0 or user >= self.n_users:
+            raise ModelError(f"user id {user} out of range [0, {self.n_users})")
+        item_vectors = (
+            self.item_factors
+            if items is None
+            else self.item_factors[np.asarray(items, dtype=np.int64)]
+        )
+        return self.scorer.score_block(self.user_factors[user][None, :], item_vectors)[0]
+
+    def score_block(self, users: np.ndarray, /) -> np.ndarray:
+        """Stacked ``(B, n_items)`` scores for a 1-D block of user ids."""
+        users = np.asarray(users, dtype=np.int64)
+        if users.ndim != 1:
+            raise ModelError(f"users must be a 1-D array of user ids, got shape {users.shape}")
+        if users.size and (int(users.min()) < 0 or int(users.max()) >= self.n_users):
+            raise ModelError(f"user ids out of range [0, {self.n_users})")
+        return self.scorer.score_block(self.user_factors[users], self.item_factors)

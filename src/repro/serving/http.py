@@ -1,0 +1,175 @@
+"""Stdlib JSON front end for the recommendation service.
+
+A deliberately small ``http.server``-based surface — no third-party web
+framework, matching the repo's stdlib+numpy dependency policy:
+
+* ``GET /health`` — liveness plus the served snapshot's shape and version,
+* ``GET /stats`` — the service's cache counters,
+* ``GET /recommend?user=U[&k=K]`` — one user's top-K list,
+* ``POST /recommend`` with ``{"users": [...], "k": K}`` — a batched query
+  answered through :meth:`~repro.serving.service.RecommenderService.top_k_batch`
+  (one blocked scoring pass per touched block).
+
+Errors come back as ``{"error": ...}`` with a 400 (bad request / unknown
+user) or 404 (unknown path).  The server is a ``ThreadingHTTPServer``; the
+service's internal lock makes concurrent handler threads safe.
+"""
+
+from __future__ import annotations
+
+import json
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any
+from urllib.parse import parse_qs, urlparse
+
+from repro.exceptions import ServingError
+from repro.serving.service import RecommenderService
+
+__all__ = ["build_http_server", "run_http_server"]
+
+
+class _ServingRequestHandler(BaseHTTPRequestHandler):
+    """Request handler bound to one service via the server instance."""
+
+    server: "_ServingHTTPServer"
+
+    # Quiet by default: serving benchmarks and tests should not spray one
+    # log line per request onto stderr.
+    def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
+        pass
+
+    def _send_json(self, status: int, payload: dict[str, object]) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_error_json(self, status: int, message: str) -> None:
+        self._send_json(status, {"error": message})
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        service = self.server.service
+        parsed = urlparse(self.path)
+        if parsed.path == "/health":
+            snapshot = service.snapshot
+            self._send_json(
+                200,
+                {
+                    "status": "ok",
+                    "snapshot_version": snapshot.version,
+                    "n_users": snapshot.n_users,
+                    "n_items": snapshot.n_items,
+                },
+            )
+            return
+        if parsed.path == "/stats":
+            self._send_json(200, dict(service.stats()))
+            return
+        if parsed.path == "/recommend":
+            query = parse_qs(parsed.query)
+            try:
+                user = int(query["user"][0])
+                k = int(query["k"][0]) if "k" in query else None
+            except (KeyError, ValueError):
+                self._send_error_json(
+                    400, "GET /recommend requires integer 'user' (and optional 'k')"
+                )
+                return
+            try:
+                recommendation = service.top_k(user, k)
+            except ServingError as error:
+                self._send_error_json(400, str(error))
+                return
+            self._send_json(200, recommendation.to_json_dict())
+            return
+        self._send_error_json(404, f"unknown path {parsed.path!r}")
+
+    def do_POST(self) -> None:  # noqa: N802 - http.server API
+        service = self.server.service
+        parsed = urlparse(self.path)
+        if parsed.path != "/recommend":
+            self._send_error_json(404, f"unknown path {parsed.path!r}")
+            return
+        try:
+            length = int(self.headers.get("Content-Length", "0"))
+            payload = json.loads(self.rfile.read(length).decode("utf-8"))
+            users = payload["users"]
+            k = payload.get("k")
+            if not isinstance(users, list) or not all(
+                isinstance(user, int) for user in users
+            ):
+                raise ValueError("'users' must be a list of integers")
+            if k is not None and not isinstance(k, int):
+                raise ValueError("'k' must be an integer when given")
+        except (ValueError, KeyError, TypeError) as error:
+            self._send_error_json(400, f"bad batch request: {error}")
+            return
+        try:
+            recommendations = service.top_k_batch(users, k)
+        except ServingError as error:
+            self._send_error_json(400, str(error))
+            return
+        self._send_json(
+            200,
+            {
+                "recommendations": [
+                    recommendation.to_json_dict() for recommendation in recommendations
+                ]
+            },
+        )
+
+
+class _ServingHTTPServer(ThreadingHTTPServer):
+    """ThreadingHTTPServer carrying the service for its handlers."""
+
+    daemon_threads = True
+
+    def __init__(self, address: tuple[str, int], service: RecommenderService) -> None:
+        super().__init__(address, _ServingRequestHandler)
+        self.service = service
+
+
+def build_http_server(
+    service: RecommenderService, host: str = "127.0.0.1", port: int = 0
+) -> ThreadingHTTPServer:
+    """A bound (but not yet serving) HTTP server for ``service``.
+
+    ``port=0`` binds an ephemeral port (read it back from
+    ``server.server_address``) — the form the tests use.  Call
+    ``serve_forever()`` on the result (typically from a thread) and
+    ``shutdown()`` / ``server_close()`` to stop.
+    """
+    return _ServingHTTPServer((host, port), service)
+
+
+def run_http_server(
+    service: RecommenderService,
+    host: str = "127.0.0.1",
+    port: int = 8080,
+    *,
+    max_requests: int | None = None,
+) -> tuple[str, int]:
+    """Bind and serve until interrupted; returns the bound ``(host, port)``.
+
+    ``max_requests`` bounds the number of requests handled before returning
+    (``0`` binds, reports the address and returns without serving — the CLI
+    smoke-test mode); ``None`` serves until ``KeyboardInterrupt``.
+    """
+    if max_requests is not None and max_requests < 0:
+        raise ServingError(f"max_requests must be non-negative, got {max_requests}")
+    server = build_http_server(service, host, port)
+    bound_host, bound_port = server.server_address[0], int(server.server_address[1])
+    try:
+        if max_requests is None:
+            try:
+                server.serve_forever()
+            except KeyboardInterrupt:
+                pass
+        else:
+            for _ in range(max_requests):
+                server.handle_request()
+    finally:
+        server.server_close()
+    return str(bound_host), bound_port

@@ -154,7 +154,10 @@ _README = """\
 | `workers` | `--workers` | positive int |
 """
 
-#: A minimal project satisfying every repro-lint rule.
+#: A minimal project satisfying every repro-lint rule.  Deliberately has NO
+#: switch registry: it pins the legacy fallback extraction (validate
+#: membership checks + EXTRA_SWITCH_FIELDS) that historical checkouts rely
+#: on.
 CLEAN_TREE: dict[str, str] = {
     "src/repro/federated/config.py": _FEDERATED_CONFIG,
     "src/repro/experiments/config.py": _EXPERIMENT_CONFIG,
@@ -164,6 +167,70 @@ CLEAN_TREE: dict[str, str] = {
     "tests/test_sharded_engine_equivalence.py": _SHARDED_SUITE,
     "tests/golden/golden_cases.py": _GOLDEN_CASES,
     "README.md": _README,
+}
+
+
+_SWITCH_REGISTRY = '''\
+"""Declarative switch registry (fixture)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["SwitchSpec", "SWITCH_REGISTRY"]
+
+
+@dataclass(frozen=True)
+class SwitchSpec:
+    name: str
+    kind: str
+    default: str | int | None = None
+    choices: tuple[str, ...] = ()
+    minimum: int = 0
+
+
+SWITCH_REGISTRY = (
+    SwitchSpec(
+        name="engine",
+        kind="choice",
+        default="vectorized",
+        choices=("loop", "vectorized"),
+    ),
+    SwitchSpec(
+        name="sampler",
+        kind="choice",
+        default="permutation",
+        choices=("permutation", "batched"),
+    ),
+    SwitchSpec(name="fuse_rounds", kind="int", default=1, minimum=1),
+    SwitchSpec(name="workers", kind="int", default=1, minimum=1),
+)
+'''
+
+_CLI_REGISTRY_DRIVEN = '''\
+"""CLI built from the switch registry (fixture)."""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.federated.switches import SWITCH_REGISTRY
+
+__all__ = ["build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser()
+    for spec in SWITCH_REGISTRY:
+        parser.add_argument(spec.cli_flag)
+    return parser
+'''
+
+#: The clean tree plus a declarative switch registry: the rules must read
+#: the switch surface from the registry (and anchor violations there).
+REGISTRY_TREE: dict[str, str] = {
+    **CLEAN_TREE,
+    "src/repro/federated/switches.py": _SWITCH_REGISTRY,
 }
 
 

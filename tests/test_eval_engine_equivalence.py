@@ -41,7 +41,7 @@ def _mf_score_block(dataset: InteractionDataset, seed: int = 0):
     model = MatrixFactorizationModel(
         dataset.num_users, dataset.num_items, num_factors=16, init_scale=1.0, rng=seed
     )
-    return lambda users: model.score_block(model.user_factors[users])
+    return model.score_block
 
 
 def _test_items(dataset: InteractionDataset, rng: np.random.Generator) -> np.ndarray:
@@ -386,11 +386,13 @@ class TestGenericScorerFallback:
     """``evaluate_snapshot`` through the generic ``Recommender.score_block``.
 
     A custom scorer that only implements ``score_items`` must work through
-    the base class's row-by-row ``score_block`` fallback, and — when its
-    per-row arithmetic matches MF exactly — must reproduce the MF path's
-    metrics.  Integer-valued factors keep every dot product exact, so the
-    row-by-row fallback (vector-matrix products) and the MF block path (one
-    matrix-matrix product) cannot drift apart in floating point.
+    the base class's row-by-row ``score_block`` fallback (now a deprecated
+    shim — the warning itself is covered in ``test_scorer_protocol.py``),
+    and — when its per-row arithmetic matches MF exactly — must reproduce
+    the id-based MF protocol path's metrics.  Integer-valued factors keep
+    every dot product exact, so the row-by-row fallback (vector-matrix
+    products) and the MF block path (one matrix-matrix product) cannot
+    drift apart in floating point.
     """
 
     @pytest.fixture()
@@ -451,7 +453,7 @@ class TestGenericScorerFallback:
         results = {}
         for name, score_block in (
             ("fallback", lambda users: scorer.score_block(user_factors[users])),
-            ("mf", lambda users: model.score_block(model.user_factors[users])),
+            ("mf", model.score_block),
         ):
             for engine in ("loop", "vectorized"):
                 results[(name, engine)] = evaluate_snapshot(

@@ -1,0 +1,215 @@
+"""The formal id-based scoring protocol (``ScorerProtocol``).
+
+The serving redesign's contract: every scoring consumer (the evaluation
+engine, the serving layer) dispatches *structurally* on
+:class:`repro.models.base.ScorerProtocol`, never nominally on concrete model
+classes.  This suite pins the three legs:
+
+* **conformance** — plain MF implements the protocol by inheritance, the MLP
+  path through the standalone :class:`~repro.models.neural.MLPRecommender`
+  adapter, and arbitrary objects/callables do *not* conform;
+* **dispatch** — :func:`~repro.metrics.evaluation.resolve_score_block`
+  normalises protocol objects to their bound ``score_block`` and passes bare
+  callables through, and ``evaluate_snapshot`` produces bit-identical
+  reports either way;
+* **deprecation** — the legacy vector-based ``Recommender.score_block``
+  fallback still works but warns (the covered shim the redesign keeps for
+  historical subclasses).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.dataset import InteractionDataset
+from repro.exceptions import ModelError
+from repro.metrics.evaluation import evaluate_snapshot, resolve_score_block
+from repro.models.base import Recommender, ScorerProtocol
+from repro.models.mf import MatrixFactorizationModel
+from repro.models.neural import MLPRecommender, MLPScorer
+
+
+def _dataset(num_users: int = 20, num_items: int = 30, seed: int = 11) -> InteractionDataset:
+    rng = np.random.default_rng(seed)
+    interactions = []
+    for user in range(num_users):
+        count = int(rng.integers(2, 6))
+        for item in rng.choice(num_items, size=count, replace=False):
+            interactions.append((user, int(item)))
+    return InteractionDataset(num_users, num_items, interactions, name="protocol")
+
+
+def _mf(num_users: int = 20, num_items: int = 30, seed: int = 3) -> MatrixFactorizationModel:
+    return MatrixFactorizationModel(num_users, num_items, num_factors=8, init_scale=1.0, rng=seed)
+
+
+def _mlp(num_users: int = 20, num_items: int = 30, seed: int = 5) -> MLPRecommender:
+    rng = np.random.default_rng(seed)
+    scorer = MLPScorer(num_factors=8, hidden_units=6, rng=7)
+    return MLPRecommender(
+        rng.normal(size=(num_users, 8)), rng.normal(size=(num_items, 8)), scorer
+    )
+
+
+class _VectorOnlyScorer(Recommender):
+    """Historical-style subclass that never overrode ``score_block``."""
+
+    def __init__(self, item_factors: np.ndarray) -> None:
+        self._item_factors = np.asarray(item_factors, dtype=np.float64)
+
+    @property
+    def num_users(self) -> int:
+        return 0
+
+    @property
+    def num_items(self) -> int:
+        return int(self._item_factors.shape[0])
+
+    @property
+    def num_factors(self) -> int:
+        return int(self._item_factors.shape[1])
+
+    def score_items(self, user_vector, items=None):
+        vectors = self._item_factors if items is None else self._item_factors[items]
+        return vectors @ np.asarray(user_vector, dtype=np.float64)
+
+
+class TestConformance:
+    def test_mf_is_a_scorer(self):
+        assert isinstance(_mf(), ScorerProtocol)
+
+    def test_mlp_adapter_is_a_scorer(self):
+        assert isinstance(_mlp(), ScorerProtocol)
+
+    def test_mlp_adapter_is_not_a_recommender_subclass(self):
+        # Structural conformance is the point: the adapter serves through
+        # the protocol without inheriting the ABC.
+        assert not isinstance(_mlp(), Recommender)
+
+    def test_bare_callable_does_not_conform(self):
+        assert not isinstance(lambda users: users, ScorerProtocol)
+
+    def test_plain_object_does_not_conform(self):
+        assert not isinstance(object(), ScorerProtocol)
+
+
+class TestResolveScoreBlock:
+    def test_protocol_object_resolves_to_bound_method(self):
+        model = _mf()
+        resolved = resolve_score_block(model)
+        assert resolved.__self__ is model
+        users = np.arange(5, dtype=np.int64)
+        np.testing.assert_array_equal(resolved(users), model.score_block(users))
+
+    def test_callable_passes_through_unchanged(self):
+        def score_block(users: np.ndarray) -> np.ndarray:
+            return np.zeros((users.shape[0], 4))
+
+        assert resolve_score_block(score_block) is score_block
+
+    @pytest.mark.parametrize("build", [_mf, _mlp], ids=["mf", "mlp"])
+    def test_evaluate_snapshot_accepts_protocol_objects(self, build):
+        """Passing the model and passing its callback are bit-identical."""
+        dataset = _dataset()
+        model = build()
+        kwargs = dict(
+            test_items=np.arange(dataset.num_users) % dataset.num_items,
+            target_items=np.arange(4, dtype=np.int64),
+            num_negatives=None,
+        )
+        via_protocol = evaluate_snapshot(model, dataset, **kwargs)
+        via_callback = evaluate_snapshot(model.score_block, dataset, **kwargs)
+        assert via_protocol.accuracy == via_callback.accuracy
+        assert via_protocol.exposure == via_callback.exposure
+
+
+class TestDeprecatedVectorFallback:
+    def test_generic_score_block_warns(self):
+        scorer = _VectorOnlyScorer(np.eye(4))
+        vectors = np.array([[1.0, 0.0, 2.0, 0.0], [0.0, 1.0, 0.0, 3.0]])
+        with pytest.warns(DeprecationWarning, match="id-based"):
+            block = scorer.score_block(vectors)
+        np.testing.assert_array_equal(
+            block, np.stack([scorer.score_items(vector) for vector in vectors])
+        )
+
+    def test_id_based_override_does_not_warn(self):
+        import warnings
+
+        model = _mf()
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            model.score_block(np.arange(3, dtype=np.int64))
+
+
+class TestMatrixFactorizationProtocolSurface:
+    def test_from_factors_adopts_arrays_without_copying(self):
+        rng = np.random.default_rng(0)
+        user_factors = rng.normal(size=(6, 4))
+        item_factors = rng.normal(size=(9, 4))
+        model = MatrixFactorizationModel.from_factors(user_factors, item_factors)
+        assert model.user_factors is user_factors
+        assert model.item_factors is item_factors
+        assert (model.n_users, model.n_items, model.num_factors) == (6, 9, 4)
+
+    def test_from_factors_rejects_bad_shapes(self):
+        with pytest.raises(ModelError, match="2-D"):
+            MatrixFactorizationModel.from_factors(np.zeros(4), np.zeros((3, 4)))
+        with pytest.raises(ModelError, match="feature dimension"):
+            MatrixFactorizationModel.from_factors(np.zeros((2, 4)), np.zeros((3, 5)))
+        with pytest.raises(ModelError, match="non-empty"):
+            MatrixFactorizationModel.from_factors(np.zeros((0, 4)), np.zeros((3, 4)))
+
+    def test_score_block_matches_vector_idiom_bitwise(self):
+        model = _mf()
+        users = np.array([3, 0, 19, 3], dtype=np.int64)
+        np.testing.assert_array_equal(
+            model.score_block(users), model.user_factors[users] @ model.item_factors.T
+        )
+
+    def test_score_block_validates_ids(self):
+        model = _mf(num_users=5)
+        with pytest.raises(ModelError, match="out of range"):
+            model.score_block(np.array([0, 5], dtype=np.int64))
+        with pytest.raises(ModelError, match="out of range"):
+            model.score_block(np.array([-1], dtype=np.int64))
+        with pytest.raises(ModelError, match="1-D"):
+            model.score_block(np.zeros((2, 2), dtype=np.int64))
+
+    def test_score_matches_score_block_row(self):
+        model = _mf()
+        np.testing.assert_array_equal(
+            model.score(4), model.score_block(np.array([4], dtype=np.int64))[0]
+        )
+
+
+class TestMLPRecommenderAdapter:
+    def test_ctor_validates_feature_dimension(self):
+        scorer = MLPScorer(num_factors=8, rng=0)
+        with pytest.raises(ModelError, match="feature dimension 8"):
+            MLPRecommender(np.zeros((3, 7)), np.zeros((4, 8)), scorer)
+        with pytest.raises(ModelError, match="2-D"):
+            MLPRecommender(np.zeros(8), np.zeros((4, 8)), scorer)
+
+    def test_score_matches_score_block_row(self):
+        adapter = _mlp()
+        for user in (0, 7, 19):
+            np.testing.assert_array_equal(
+                adapter.score(user),
+                adapter.score_block(np.array([user], dtype=np.int64))[0],
+            )
+
+    def test_score_subsets_items(self):
+        adapter = _mlp()
+        items = np.array([2, 0, 11], dtype=np.int64)
+        np.testing.assert_array_equal(adapter.score(1, items), adapter.score(1)[items])
+
+    def test_score_block_validates_ids(self):
+        adapter = _mlp(num_users=4)
+        with pytest.raises(ModelError, match="out of range"):
+            adapter.score_block(np.array([4], dtype=np.int64))
+        with pytest.raises(ModelError, match="1-D"):
+            adapter.score_block(np.zeros((1, 1), dtype=np.int64))
+        with pytest.raises(ModelError, match="out of range"):
+            adapter.score(-1)

@@ -1,0 +1,243 @@
+"""HTTP front end of the serving layer: real-socket round trips.
+
+Each test binds an ephemeral-port :func:`build_http_server`, serves it from
+a background thread and talks to it through ``urllib`` — no mocked sockets.
+The contract: the JSON payloads are exactly the service's
+:meth:`~repro.serving.service.Recommendation.to_json_dict` answers (so the
+HTTP layer adds transport, never arithmetic), batched POSTs equal the
+corresponding single GETs, and every client error surfaces as a 400/404
+JSON body rather than a stack trace.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import threading
+import time
+import urllib.error
+import urllib.request
+
+import numpy as np
+import pytest
+
+from repro.data.dataset import InteractionDataset
+from repro.exceptions import ServingError
+from repro.models.mf import MatrixFactorizationModel
+from repro.serving import (
+    FactorSnapshot,
+    RecommenderService,
+    build_http_server,
+    run_http_server,
+)
+
+NUM_USERS = 20
+NUM_ITEMS = 25
+
+
+def _service(version: int = 5) -> RecommenderService:
+    rng = np.random.default_rng(2)
+    interactions = [
+        (user, int(item))
+        for user in range(NUM_USERS)
+        for item in rng.choice(NUM_ITEMS, size=3, replace=False)
+    ]
+    train = InteractionDataset(NUM_USERS, NUM_ITEMS, interactions, name="http")
+    model = MatrixFactorizationModel(NUM_USERS, NUM_ITEMS, 8, init_scale=1.0, rng=3)
+    return RecommenderService(
+        FactorSnapshot.from_model(model, version=version), train, top_k=7
+    )
+
+
+@pytest.fixture()
+def served():
+    """A live server on an ephemeral port plus its backing service."""
+    service = _service()
+    server = build_http_server(service)
+    # Tight poll interval so shutdown() returns promptly between tests.
+    thread = threading.Thread(
+        target=lambda: server.serve_forever(poll_interval=0.02), daemon=True
+    )
+    thread.start()
+    host, port = server.server_address[0], server.server_address[1]
+    try:
+        yield f"http://{host}:{port}", service
+    finally:
+        server.shutdown()
+        server.server_close()
+        thread.join()
+
+
+def _get(url: str) -> dict:
+    with urllib.request.urlopen(url, timeout=10) as response:
+        assert response.status == 200
+        return json.loads(response.read().decode("utf-8"))
+
+
+def _post(url: str, payload: dict) -> dict:
+    request = urllib.request.Request(
+        url,
+        data=json.dumps(payload).encode("utf-8"),
+        headers={"Content-Type": "application/json"},
+        method="POST",
+    )
+    with urllib.request.urlopen(request, timeout=10) as response:
+        assert response.status == 200
+        return json.loads(response.read().decode("utf-8"))
+
+
+def _error(url: str, payload: dict | None = None) -> tuple[int, dict]:
+    request = urllib.request.Request(
+        url,
+        data=None if payload is None else json.dumps(payload).encode("utf-8"),
+        method="GET" if payload is None else "POST",
+    )
+    with pytest.raises(urllib.error.HTTPError) as excinfo:
+        urllib.request.urlopen(request, timeout=10)
+    return excinfo.value.code, json.loads(excinfo.value.read().decode("utf-8"))
+
+
+class TestEndpoints:
+    def test_health_reports_the_served_snapshot(self, served):
+        base, service = served
+        payload = _get(f"{base}/health")
+        assert payload == {
+            "status": "ok",
+            "snapshot_version": 5,
+            "n_users": NUM_USERS,
+            "n_items": NUM_ITEMS,
+        }
+
+    def test_recommend_matches_the_service_answer(self, served):
+        base, service = served
+        payload = _get(f"{base}/recommend?user=3")
+        assert payload == service.top_k(3).to_json_dict()
+        assert len(payload["items"]) == 7  # the service default k
+
+    def test_recommend_honours_k(self, served):
+        base, service = served
+        payload = _get(f"{base}/recommend?user=3&k=2")
+        assert payload == service.top_k(3, k=2).to_json_dict()
+        assert len(payload["items"]) == 2
+
+    def test_batch_post_equals_single_gets(self, served):
+        base, _ = served
+        users = [4, 0, 19, 4]
+        batched = _post(f"{base}/recommend", {"users": users, "k": 3})
+        singles = [_get(f"{base}/recommend?user={user}&k=3") for user in users]
+        assert batched == {"recommendations": singles}
+
+    def test_batch_post_without_k_uses_the_default(self, served):
+        base, service = served
+        batched = _post(f"{base}/recommend", {"users": [1]})
+        assert batched["recommendations"] == [service.top_k(1).to_json_dict()]
+
+    def test_stats_counts_round_trips(self, served):
+        base, _ = served
+        _get(f"{base}/recommend?user=6")
+        _get(f"{base}/recommend?user=6")
+        stats = _get(f"{base}/stats")
+        assert stats["queries"] >= 2
+        assert stats["memo_hits"] >= 1
+        assert stats["snapshot_version"] == 5
+
+
+class TestErrorSurface:
+    def test_missing_user_is_a_400(self, served):
+        base, _ = served
+        code, body = _error(f"{base}/recommend")
+        assert code == 400 and "user" in body["error"]
+
+    def test_garbage_user_is_a_400(self, served):
+        base, _ = served
+        code, body = _error(f"{base}/recommend?user=pony")
+        assert code == 400 and "integer" in body["error"]
+
+    def test_unknown_user_is_a_400_with_the_serving_message(self, served):
+        base, _ = served
+        code, body = _error(f"{base}/recommend?user={NUM_USERS}")
+        assert code == 400 and "out of range" in body["error"]
+
+    def test_bad_k_is_a_400(self, served):
+        base, _ = served
+        code, body = _error(f"{base}/recommend?user=1&k=0")
+        assert code == 400 and "k must be positive" in body["error"]
+
+    def test_unknown_path_is_a_404(self, served):
+        base, _ = served
+        code, body = _error(f"{base}/nope")
+        assert code == 404 and "/nope" in body["error"]
+        code, _ = _error(f"{base}/nope", payload={"users": [1]})
+        assert code == 404
+
+    def test_batch_users_must_be_an_int_list(self, served):
+        base, _ = served
+        code, body = _error(f"{base}/recommend", payload={"users": "everyone"})
+        assert code == 400 and "list of integers" in body["error"]
+        code, body = _error(f"{base}/recommend", payload={"users": [1.5]})
+        assert code == 400
+        code, body = _error(f"{base}/recommend", payload={"k": 3})
+        assert code == 400
+
+    def test_batch_k_must_be_an_int(self, served):
+        base, _ = served
+        code, body = _error(f"{base}/recommend", payload={"users": [1], "k": "ten"})
+        assert code == 400 and "'k'" in body["error"]
+
+    def test_batch_out_of_range_user_is_a_400(self, served):
+        base, _ = served
+        code, body = _error(f"{base}/recommend", payload={"users": [0, NUM_USERS]})
+        assert code == 400 and "out of range" in body["error"]
+
+
+class TestRunHttpServer:
+    def test_max_requests_zero_binds_and_returns(self):
+        host, port = run_http_server(_service(), port=0, max_requests=0)
+        assert host == "127.0.0.1"
+        assert port > 0
+        # The socket is closed again: the port is immediately rebindable.
+        probe = socket.socket()
+        try:
+            probe.bind((host, port))
+        finally:
+            probe.close()
+
+    def test_negative_max_requests_rejected(self):
+        with pytest.raises(ServingError, match="non-negative"):
+            run_http_server(_service(), port=0, max_requests=-1)
+
+    def test_serves_exactly_max_requests_then_exits(self):
+        service = _service()
+        probe = socket.socket()
+        probe.bind(("127.0.0.1", 0))
+        port = probe.getsockname()[1]
+        probe.close()
+
+        bound: dict[str, tuple[str, int]] = {}
+
+        def serve() -> None:
+            bound["address"] = run_http_server(
+                service, port=port, max_requests=2
+            )
+
+        # Daemon: if an assertion below fails, a server still blocked in
+        # handle_request() must not keep the interpreter alive.
+        thread = threading.Thread(target=serve, daemon=True)
+        thread.start()
+        # The thread binds asynchronously; retry until it accepts.  A refused
+        # connection never reaches accept(), so retries don't consume the
+        # max_requests budget.
+        deadline = time.monotonic() + 10
+        while True:
+            try:
+                payload = _get(f"http://127.0.0.1:{port}/health")
+                break
+            except urllib.error.URLError:
+                if time.monotonic() > deadline:
+                    raise
+                time.sleep(0.05)
+        assert payload["status"] == "ok"
+        _get(f"http://127.0.0.1:{port}/recommend?user=0")
+        thread.join(timeout=30)
+        assert not thread.is_alive(), "server must exit after max_requests"
+        assert bound["address"] == ("127.0.0.1", port)
