@@ -146,6 +146,21 @@ def build_parser() -> argparse.ArgumentParser:
             "0: bind, report the address and exit — smoke mode)"
         ),
     )
+    serve_parser.add_argument(
+        "--request-timeout",
+        type=float,
+        default=None,
+        help="per-request response deadline in seconds (default: none; slow answers become 504s)",
+    )
+    serve_parser.add_argument(
+        "--max-in-flight",
+        type=int,
+        default=None,
+        help=(
+            "bound on concurrently served /recommend requests (default: unbounded; "
+            "excess load is shed with a 503 + Retry-After)"
+        ),
+    )
 
     table_parser = subparsers.add_parser("table", help="regenerate one of the paper's tables")
     table_parser.add_argument("table", choices=sorted(_TABLES), help="table number or 'defense'")
@@ -218,7 +233,14 @@ def _command_serve(args: argparse.Namespace) -> int:
         print(f"bound http://{host}:{port} (max-requests=0, exiting)")
         return 0
     print(f"listening on http://{args.host}:{args.port} (Ctrl-C to stop)")
-    run_http_server(service, args.host, args.port, max_requests=args.max_requests)
+    run_http_server(
+        service,
+        args.host,
+        args.port,
+        max_requests=args.max_requests,
+        request_timeout=args.request_timeout,
+        max_in_flight=args.max_in_flight,
+    )
     return 0
 
 

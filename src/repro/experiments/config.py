@@ -62,6 +62,14 @@ class ExperimentConfig:
     fuse_rounds: int = 1
     workers: int = 1
     worker_timeout: float | None = None
+    dropout_rate: float = 0.0
+    crash_rate: float = 0.0
+    straggler_rate: float = 0.0
+    straggler_policy: str = "wait"
+    min_reporters: int = 0
+    shard_retries: int = 0
+    shard_backoff: float = 0.05
+    degradation: str = "strict"
     use_learnable_scorer: bool = False
     scorer_hidden_units: int = 32
     evaluate_every: int | None = None

@@ -21,6 +21,7 @@ from repro.data.public import sample_public_interactions
 from repro.data.splits import leave_one_out_split
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.registry import build_attack
+from repro.federated.dynamics import RoundIncident
 from repro.federated.history import TrainingHistory
 from repro.federated.simulation import FederatedSimulation, UpdateObserver
 from repro.metrics.accuracy import AccuracyReport
@@ -50,6 +51,11 @@ class ExperimentResult:
     #: Immutable export of the final trained factors, ready to serve
     #: (``fedrecattack serve`` hands it straight to the service).
     snapshot: FactorSnapshot | None = None
+
+    @property
+    def incidents(self) -> "list[RoundIncident]":
+        """The run's structured degradation log (empty with dynamics off)."""
+        return self.history.incidents
 
     @property
     def er_at_5(self) -> float:

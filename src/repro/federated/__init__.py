@@ -20,6 +20,15 @@ from repro.federated.aggregation import (
 )
 from repro.federated.client import BenignClient, Client, MaliciousClient
 from repro.federated.config import FederatedConfig
+from repro.federated.dynamics import (
+    FaultSchedule,
+    RoundFaults,
+    RoundIncident,
+    ShardFaultPlan,
+    TransientShardError,
+    clear_shard_fault_plan,
+    install_shard_fault_plan,
+)
 from repro.federated.engine import BatchedRoundTrainer
 from repro.federated.history import EpochRecord, TrainingHistory
 from repro.federated.privacy import GaussianNoiseMechanism, clip_rows
@@ -49,6 +58,13 @@ __all__ = [
     "MaliciousClient",
     "Client",
     "FederatedConfig",
+    "FaultSchedule",
+    "RoundFaults",
+    "RoundIncident",
+    "ShardFaultPlan",
+    "TransientShardError",
+    "install_shard_fault_plan",
+    "clear_shard_fault_plan",
     "TrainingHistory",
     "EpochRecord",
     "GaussianNoiseMechanism",

@@ -124,6 +124,59 @@ class FederatedConfig:
         it hung and aborting with a ``RuntimeError`` naming the unfinished
         shard(s).  ``None`` (default) waits forever.  Only meaningful with
         ``workers > 1``.
+    dropout_rate:
+        Per-round probability that a sampled client *drops out*: it never
+        trains and never reports, consuming no training/sampling/privacy
+        streams (exactly as if it had not been sampled).  Drawn per client
+        from the dedicated ``"fault-schedule"`` stream
+        (:class:`~repro.federated.dynamics.FaultSchedule`); ``0.0`` (default)
+        keeps every historical seed history byte-identical.
+    crash_rate:
+        Per-round probability that a sampled client *crashes mid-update*: it
+        trains fully (streams consumed, local user vector stepped, update
+        privatised) but the upload is lost and discarded.
+    straggler_rate:
+        Per-round probability that a sampled client *straggles*: it trains
+        with the round but reports late, with the disposition decided by
+        ``straggler_policy``.
+    straggler_policy:
+        What happens to straggler reports.  ``"wait"`` (default): the round
+        waits for them, the update counts normally (the straggle is only an
+        incident-log event).  ``"discard"``: the late update is dropped on
+        the floor.  ``"stale-merge"``: the update — computed against the
+        item matrix of its training round — is held back and merged in the
+        round it arrives (one round later by default), a delayed-gradient
+        realization change.
+    min_reporters:
+        Reporter quorum per round.  A round whose planned reporter count
+        (after dropouts, crashes and non-``"wait"`` stragglers) falls below
+        ``min(min_reporters, batch size)`` aborts *before* any training
+        stream is consumed, logs a ``"quorum-abort"``
+        :class:`~repro.federated.dynamics.RoundIncident` and redraws its
+        fault schedule; repeated failure raises
+        :class:`~repro.exceptions.FederationError`.  ``0`` (default)
+        disables the quorum.  Aggregation and DP privatisation always run on
+        the surviving reporter set.
+    shard_retries:
+        How many times a failed shard of a sharded round is retried when it
+        fails with a *transient* error
+        (:class:`~repro.federated.dynamics.TransientShardError` or a broken
+        worker pool).  Deterministic shard exceptions are never retried —
+        they would recompute the same failure — and abort the round
+        immediately with the shard id.  ``0`` (default) disables retries.
+    shard_backoff:
+        Base backoff in seconds between shard retries; attempt ``n`` sleeps
+        ``shard_backoff * 2**(n-1)``.  Affects wall clock only, never
+        results.
+    degradation:
+        What a sharded round does when a shard is still failing after its
+        retries (or timed out).  ``"strict"`` (default): abort the round
+        with a ``RuntimeError`` naming the shard — no partial merge, ever.
+        ``"quorum"``: merge the *surviving* shards iff the round's reporter
+        quorum (``min_reporters``) still holds, recording a
+        ``"shard-failed"`` / ``"shard-timeout"`` incident; a quorum
+        violation raises instead of merging.  Degradation is never silent:
+        every degraded round appears in the incident log.
     """
 
     num_factors: int = 32
@@ -147,6 +200,14 @@ class FederatedConfig:
     fuse_rounds: int = 1
     workers: int = 1
     worker_timeout: float | None = None
+    dropout_rate: float = 0.0
+    crash_rate: float = 0.0
+    straggler_rate: float = 0.0
+    straggler_policy: str = "wait"
+    min_reporters: int = 0
+    shard_retries: int = 0
+    shard_backoff: float = 0.05
+    degradation: str = "strict"
 
     def validate(self) -> None:
         """Raise :class:`ConfigurationError` on inconsistent settings."""
@@ -187,4 +248,21 @@ class FederatedConfig:
                 "workers > 1 with the vectorized engine is only supported for "
                 "plain MF (the scorer round has no sharded implementation); "
                 "use engine='loop' to shard scorer training"
+            )
+        dynamics_on = (
+            self.dropout_rate > 0.0
+            or self.crash_rate > 0.0
+            or self.straggler_rate > 0.0
+            or self.min_reporters > 0
+        )
+        if dynamics_on and self.fuse_rounds > 1:
+            raise ConfigurationError(
+                "federation dynamics (dropout_rate / crash_rate / "
+                "straggler_rate / min_reporters) require fuse_rounds=1 "
+                "(fault dispositions are per-round)"
+            )
+        if self.degradation == "quorum" and self.fuse_rounds > 1:
+            raise ConfigurationError(
+                "degradation='quorum' requires fuse_rounds=1 "
+                "(a fused window cannot drop a shard's clients per-round)"
             )

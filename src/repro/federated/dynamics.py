@@ -1,0 +1,307 @@
+"""Federation dynamics: seeded client churn, stragglers and fault injection.
+
+The paper's protocol assumes every sampled client reports every round; real
+federated deployments lose clients to churn (devices go offline), stragglers
+(slow devices report late) and crashes (devices die mid-update).  This module
+makes those events *first-class, seeded and replayable* instead of test-only
+monkeypatches:
+
+* :class:`FaultSchedule` draws each round's client faults from a dedicated
+  ``"fault-schedule"`` RNG stream (one named
+  :class:`~repro.rng.SeedSequenceFactory` stream, so enabling dynamics never
+  perturbs any training/evaluation stream — with all rates at their 0.0
+  defaults every historical seed history stays byte-identical).  The draw
+  shape per round is fixed (three uniforms plus one delay integer per sampled
+  client), so changing one rate never shifts another round's realization.
+* :class:`RoundIncident` is the structured record of every degradation event
+  — client dropouts, crashes, straggler dispositions, quorum aborts, shard
+  retries/failures — carried on
+  :class:`~repro.federated.history.TrainingHistory` and thereby on
+  :class:`~repro.experiments.runner.ExperimentResult`.
+* :class:`ShardFaultPlan` plus :class:`TransientShardError` are the public
+  fault-injection surface of the sharded engine (promoted from the PR 7
+  monkeypatch-only test hooks): a plan installed in the parent *before* the
+  worker pool forks is inherited by every worker, which consults it on each
+  shard attempt — deterministic hangs, deterministic failures (never
+  retried) and transient failures (retried with exponential backoff).
+
+Fault taxonomy (per sampled client, drawn once per round):
+
+``dropped``
+    Never reports and never trains — consumes *no* training, sampling or
+    privacy streams, exactly as if it had not been sampled.
+``crashed``
+    Trains fully (streams consumed, the local user vector steps, the update
+    is privatised) but the upload is lost mid-flight and discarded.
+``straggler``
+    Trains with the round but reports late; the configured
+    ``straggler_policy`` decides the disposition: ``"wait"`` (the round
+    waits, the update counts normally), ``"discard"`` (the late update is
+    dropped) or ``"stale-merge"`` (the update — computed against the item
+    matrix of its training round — is merged when it arrives, ``delay``
+    rounds later).
+
+Training loss is accounted in the round a client *trained* (a local
+quantity), regardless of when or whether its update reports.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.exceptions import FederationError
+
+__all__ = [
+    "RoundFaults",
+    "FaultSchedule",
+    "RoundIncident",
+    "ShardIncident",
+    "TransientShardError",
+    "ShardFaultPlan",
+    "install_shard_fault_plan",
+    "clear_shard_fault_plan",
+    "active_shard_fault_plan",
+]
+
+
+@dataclass(frozen=True)
+class RoundFaults:
+    """One round's fault realization over its sampled clients.
+
+    ``delays`` maps each straggler to the number of rounds its report is
+    delayed under the ``"stale-merge"`` policy (>= 1; under the other
+    policies the delay is drawn but unused, keeping the stream shape fixed).
+    """
+
+    round_index: int
+    dropped: tuple[int, ...]
+    crashed: tuple[int, ...]
+    stragglers: tuple[int, ...]
+    delays: dict[int, int] = field(default_factory=dict)
+
+    @property
+    def is_clean(self) -> bool:
+        """Whether this round drew no faults at all."""
+        return not (self.dropped or self.crashed or self.stragglers)
+
+    @property
+    def dropped_set(self) -> frozenset[int]:
+        """The dropped client ids as a set (membership tests)."""
+        return frozenset(self.dropped)
+
+    @property
+    def crashed_set(self) -> frozenset[int]:
+        """The crashed client ids as a set."""
+        return frozenset(self.crashed)
+
+    @property
+    def straggler_set(self) -> frozenset[int]:
+        """The straggling client ids as a set."""
+        return frozenset(self.stragglers)
+
+
+class FaultSchedule:
+    """Seeded per-round client-fault draws.
+
+    Parameters
+    ----------
+    dropout_rate, crash_rate, straggler_rate:
+        Per-client probabilities in ``[0, 1]``, applied in priority order
+        dropped > crashed > straggler (a client realizes at most one fault
+        per round).
+    rng:
+        The dedicated ``"fault-schedule"`` generator stream.  The schedule is
+        the stream's only consumer, so fault realizations are a pure function
+        of (master seed, round order, batch sizes) — identical across
+        engines, samplers and worker counts.
+    straggler_delay:
+        Upper bound (inclusive) of the uniform integer delay drawn per
+        straggler for the ``"stale-merge"`` policy; the default 1 makes
+        every stale report arrive exactly one round late.
+    """
+
+    def __init__(
+        self,
+        dropout_rate: float,
+        crash_rate: float,
+        straggler_rate: float,
+        rng: np.random.Generator,
+        straggler_delay: int = 1,
+    ) -> None:
+        for name, rate in (
+            ("dropout_rate", dropout_rate),
+            ("crash_rate", crash_rate),
+            ("straggler_rate", straggler_rate),
+        ):
+            if not 0.0 <= rate <= 1.0:
+                raise FederationError(f"{name} must be in [0, 1], got {rate!r}")
+        if straggler_delay < 1:
+            raise FederationError(
+                f"straggler_delay must be at least 1, got {straggler_delay}"
+            )
+        self.dropout_rate = float(dropout_rate)
+        self.crash_rate = float(crash_rate)
+        self.straggler_rate = float(straggler_rate)
+        self.straggler_delay = int(straggler_delay)
+        self._rng = rng
+
+    def draw(self, round_index: int, client_ids: np.ndarray) -> RoundFaults:
+        """Draw one round's fault realization for ``client_ids``.
+
+        Consumes a fixed-shape slice of the fault stream — three uniforms and
+        one delay integer per sampled client — regardless of which rates are
+        zero, so enabling one fault class never shifts another's draws.
+        """
+        count = int(client_ids.shape[0])
+        if count == 0:
+            return RoundFaults(round_index, (), (), ())
+        u_drop = self._rng.random(count)
+        u_crash = self._rng.random(count)
+        u_straggle = self._rng.random(count)
+        delays = self._rng.integers(1, self.straggler_delay + 1, size=count)
+
+        dropped_mask = u_drop < self.dropout_rate
+        crashed_mask = ~dropped_mask & (u_crash < self.crash_rate)
+        straggler_mask = ~dropped_mask & ~crashed_mask & (u_straggle < self.straggler_rate)
+        ids = [int(cid) for cid in client_ids]
+        return RoundFaults(
+            round_index=round_index,
+            dropped=tuple(cid for cid, hit in zip(ids, dropped_mask) if hit),
+            crashed=tuple(cid for cid, hit in zip(ids, crashed_mask) if hit),
+            stragglers=tuple(cid for cid, hit in zip(ids, straggler_mask) if hit),
+            delays={
+                cid: int(delay)
+                for cid, hit, delay in zip(ids, straggler_mask, delays)
+                if hit
+            },
+        )
+
+
+@dataclass(frozen=True)
+class RoundIncident:
+    """One structured degradation event of a training run.
+
+    Attributes
+    ----------
+    round_index:
+        The server's authoritative round counter when the incident occurred.
+    epoch:
+        The 1-based training epoch of the round.
+    kind:
+        The incident class: ``"client-dropout"``, ``"client-crash"``,
+        ``"straggler"``, ``"quorum-abort"``, ``"shard-retry"``,
+        ``"shard-failed"``, ``"shard-timeout"`` or ``"straggler-expired"``.
+    client_ids:
+        The affected client ids (sorted, possibly empty for shard-level
+        events with no client attribution).
+    detail:
+        Human-readable, fully deterministic context (policies, attempt
+        counts, shard ids — never wall-clock readings).
+    """
+
+    round_index: int
+    epoch: int
+    kind: str
+    client_ids: tuple[int, ...] = ()
+    detail: str = ""
+
+
+class TransientShardError(RuntimeError):
+    """A shard failure worth retrying (injected or infrastructure-flagged).
+
+    The resilient executor retries shards failing with this type (with
+    exponential backoff, up to ``shard_retries`` attempts); any *other*
+    exception from a shard is treated as deterministic — retrying would
+    recompute the same failure — and aborts the round immediately with the
+    shard id.
+    """
+
+
+@dataclass(frozen=True)
+class ShardIncident:
+    """An executor-level event, converted to a :class:`RoundIncident` by the
+    simulation (which owns the round/epoch context the executor lacks)."""
+
+    kind: str
+    shard_index: int
+    client_ids: tuple[int, ...] = ()
+    detail: str = ""
+
+
+@dataclass(frozen=True)
+class ShardFaultPlan:
+    """Deterministic worker-side fault plan for the sharded engine.
+
+    Installed in the *parent* through :func:`install_shard_fault_plan` before
+    the worker pool starts (the pool forks lazily on the first round, so
+    every worker inherits the plan); workers consult it on every shard
+    attempt through :func:`active_shard_fault_plan`.
+
+    Attributes
+    ----------
+    transient_failures:
+        ``shard_index -> n``: the shard's first ``n`` attempts raise
+        :class:`TransientShardError` (attempt numbers are 0-based), after
+        which it succeeds — the retry-recovery scenario.
+    deterministic_failures:
+        ``shard_index -> message``: every attempt of the shard raises
+        ``RuntimeError(message)`` — never retried.
+    hangs:
+        ``shard_index -> seconds``: every attempt of the shard sleeps that
+        long before executing (drive timeouts with ``worker_timeout``, or
+        adversarial completion orders with sub-timeout sleeps).
+    rounds:
+        When given, the plan only applies to these 1-based dispatch rounds
+        of the executor (``None`` applies to every round).
+    """
+
+    transient_failures: dict[int, int] = field(default_factory=dict)
+    deterministic_failures: dict[int, str] = field(default_factory=dict)
+    hangs: dict[int, float] = field(default_factory=dict)
+    rounds: tuple[int, ...] | None = None
+
+    def apply(self, shard_index: int, attempt: int, dispatch_round: int) -> None:
+        """Raise or sleep according to the plan (worker-side hook)."""
+        if self.rounds is not None and dispatch_round not in self.rounds:
+            return
+        delay = self.hangs.get(shard_index)
+        if delay is not None and delay > 0:
+            time.sleep(delay)
+        message = self.deterministic_failures.get(shard_index)
+        if message is not None:
+            raise RuntimeError(message)
+        failing_attempts = self.transient_failures.get(shard_index, 0)
+        if attempt < failing_attempts:
+            raise TransientShardError(
+                f"injected transient failure of shard {shard_index} "
+                f"(attempt {attempt})"
+            )
+
+
+#: The process-wide active plan, inherited by forked workers.  ``None`` (the
+#: default) means shards execute normally; tests and the chaos benchmark
+#: install a plan around a simulation and clear it afterwards.
+_ACTIVE_PLAN: list[ShardFaultPlan | None] = [None]
+
+
+def install_shard_fault_plan(plan: ShardFaultPlan) -> None:
+    """Install ``plan`` as the process-wide shard fault plan.
+
+    Must run *before* the executor's pool starts (i.e. before the first
+    sharded round) so forked workers inherit it.  Always pair with
+    :func:`clear_shard_fault_plan` (``try/finally``).
+    """
+    _ACTIVE_PLAN[0] = plan
+
+
+def clear_shard_fault_plan() -> None:
+    """Remove the active shard fault plan (idempotent)."""
+    _ACTIVE_PLAN[0] = None
+
+
+def active_shard_fault_plan() -> ShardFaultPlan | None:
+    """The currently installed plan, if any (consulted by workers)."""
+    return _ACTIVE_PLAN[0]

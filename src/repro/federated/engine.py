@@ -200,6 +200,20 @@ class BatchedRoundTrainer:
                 round_updates, grad_users, losses = self._train_mf_sharded(
                     benign_ids, user_vectors, segment_ids, positives, negatives, item_factors
                 )
+                if round_updates.client_ids.shape[0] != num_clients:
+                    # Quorum degradation dropped a failed shard: only the
+                    # surviving shards' clients completed local training, so
+                    # only they step their vectors and only their updates are
+                    # privatised below.  ``grad_users``/``losses`` already
+                    # align with the surviving (shard-ordered) client set.
+                    surviving = {int(cid) for cid in round_updates.client_ids}
+                    keep = [
+                        index
+                        for index, cid in enumerate(benign_ids)
+                        if cid in surviving
+                    ]
+                    clients = [clients[index] for index in keep]
+                    user_vectors = user_vectors[keep]
             else:
                 batched = bpr_coefficients_batched(
                     user_vectors,

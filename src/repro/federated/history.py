@@ -13,6 +13,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.federated.dynamics import RoundIncident
 from repro.metrics.accuracy import AccuracyReport
 from repro.metrics.exposure import ExposureReport
 
@@ -31,13 +32,25 @@ class EpochRecord:
 
 @dataclass
 class TrainingHistory:
-    """Ordered collection of per-epoch records."""
+    """Ordered collection of per-epoch records.
+
+    ``incidents`` is the run's structured degradation log — every client
+    dropout/crash/straggle disposition, quorum abort and shard
+    retry/failure, as :class:`~repro.federated.dynamics.RoundIncident`
+    records in occurrence order.  Empty for every run with the federation
+    dynamics switches at their defaults.
+    """
 
     records: list[EpochRecord] = field(default_factory=list)
+    incidents: list[RoundIncident] = field(default_factory=list)
 
     def append(self, record: EpochRecord) -> None:
         """Add one epoch record."""
         self.records.append(record)
+
+    def record_incident(self, incident: RoundIncident) -> None:
+        """Add one degradation event to the incident log."""
+        self.incidents.append(incident)
 
     def __len__(self) -> int:
         return len(self.records)

@@ -37,7 +37,9 @@ trailing shards may be empty when there are more workers than clients.
 from __future__ import annotations
 
 import multiprocessing
+import time
 from concurrent.futures import ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from typing import Any, Sequence
 from weakref import finalize
@@ -48,6 +50,11 @@ from scipy import sparse as _sparse
 from repro.data.store import InteractionStore, SharedArraySpec, attach_shared_array, share_array
 from repro.exceptions import FederationError
 from repro.federated.client import scorer_pair_gradients
+from repro.federated.dynamics import (
+    ShardIncident,
+    TransientShardError,
+    active_shard_fault_plan,
+)
 from repro.federated.updates import ClientUpdate, FactoredRoundUpdates, SparseRoundUpdates
 from repro.models.losses import _log_sigmoid, bpr_loss_and_gradients, fold_by_key, sigmoid
 from repro.models.neural import MLPScorer
@@ -206,13 +213,22 @@ def _worker_init(spec: dict[str, SharedArraySpec]) -> None:
     _WORKER["_segments"] = segments
 
 
-def _shard_entry(task: "MFShardTask | LoopShardTask") -> ShardResult:
+def _shard_entry(
+    task: "MFShardTask | LoopShardTask", attempt: int = 0, dispatch_round: int = 0
+) -> ShardResult:
     """The picklable pool entry point.
 
-    Dispatches through the *module attribute* ``_execute_shard`` so the
-    fault-injection tests can monkeypatch shard execution before the pool
-    forks and have every worker inherit the patched behaviour.
+    First consults the process-wide
+    :class:`~repro.federated.dynamics.ShardFaultPlan` (installed in the
+    parent before the pool forks, so every worker inherits it) — the public
+    fault-injection surface — then dispatches through the *module attribute*
+    ``_execute_shard``, which remains monkeypatchable the same pre-fork way.
+    ``attempt`` is the 0-based retry attempt, ``dispatch_round`` the
+    executor's 1-based round counter; both exist only for the plan.
     """
+    plan = active_shard_fault_plan()
+    if plan is not None:
+        plan.apply(task.shard_index, attempt, dispatch_round)
     return _execute_shard(task)
 
 
@@ -407,6 +423,22 @@ class ShardedRoundExecutor:
     timeout:
         ``FederatedConfig.worker_timeout`` — seconds to wait for a round's
         shards before declaring the pool hung (``None`` waits forever).
+    retries:
+        ``FederatedConfig.shard_retries`` — how many extra attempts a shard
+        failing with :class:`~repro.federated.dynamics.TransientShardError`
+        (or a broken pool) gets.  Deterministic shard exceptions are never
+        retried: they would recompute the same failure, so they abort the
+        round immediately with the shard id under either degradation mode.
+    backoff:
+        ``FederatedConfig.shard_backoff`` — base sleep before retry attempt
+        ``n`` (0-based) of ``backoff * 2**n`` seconds.  Wall clock only.
+    degradation:
+        ``FederatedConfig.degradation`` — ``"strict"`` aborts the round on
+        any shard that is still failing after its retries (or timed out);
+        ``"quorum"`` records a :class:`~repro.federated.dynamics.ShardIncident`
+        for the failed shard and returns the surviving results (the
+        simulation then enforces the reporter quorum before merging — a
+        degraded round is never silent).
     """
 
     def __init__(
@@ -416,11 +448,25 @@ class ShardedRoundExecutor:
         num_factors: int,
         store: InteractionStore,
         timeout: float | None = None,
+        retries: int = 0,
+        backoff: float = 0.05,
+        degradation: str = "strict",
     ) -> None:
         if num_shards < 1:
             raise FederationError("num_shards must be at least 1")
+        if retries < 0:
+            raise FederationError("retries must be non-negative")
+        if degradation not in ("strict", "quorum"):
+            raise FederationError(
+                f"degradation must be 'strict' or 'quorum', got {degradation!r}"
+            )
         self._num_shards = int(num_shards)
         self._timeout = timeout
+        self._retries = int(retries)
+        self._backoff = float(backoff)
+        self._degradation = degradation
+        self._dispatch_round = 0
+        self._incidents: list[ShardIncident] = []
         self._spec: dict[str, SharedArraySpec] = {}
         segments = []
         factors_segment, factors_spec = share_array(
@@ -446,6 +492,18 @@ class ShardedRoundExecutor:
         """Shut the pool down and release the shared-memory segments."""
         self._finalizer()
 
+    def drain_incidents(self) -> list[ShardIncident]:
+        """Return (and clear) the shard incidents recorded since last drained.
+
+        The executor has no notion of training rounds or epochs; the
+        simulation drains these after each :meth:`run_shards` call and
+        converts them to :class:`~repro.federated.dynamics.RoundIncident`
+        records with the round context attached.
+        """
+        drained = self._incidents
+        self._incidents = []
+        return drained
+
     def run_shards(
         self, tasks: "Sequence[MFShardTask | LoopShardTask]", item_factors: np.ndarray
     ) -> list[ShardResult]:
@@ -454,34 +512,160 @@ class ShardedRoundExecutor:
         ``item_factors`` is copied into the shared snapshot buffer before any
         task is dispatched, so all workers fold against the identical bits
         the parent's round uses.
+
+        Failure handling distinguishes three classes:
+
+        * **Transient** (:class:`TransientShardError`, or a broken pool):
+          retried with exponential backoff up to ``retries`` extra attempts.
+        * **Deterministic** (any other shard exception): never retried —
+          aborts the round immediately with the shard id, in *both*
+          degradation modes (retrying recomputes the same failure, and a
+          quorum merge over a deterministic bug would hide it).
+        * **Exhausted / timed out**: under ``"strict"`` the round aborts with
+          no partial merge; under ``"quorum"`` the failed shard is dropped,
+          a ``ShardIncident`` is recorded, and the surviving results are
+          returned (still in shard order) for the caller's quorum check.
         """
         np.copyto(self._item_factors_view, item_factors)
-        pool = self._ensure_pool()
-        futures = [pool.submit(_shard_entry, task) for task in tasks]
-        _, pending = wait(futures, timeout=self._timeout)
-        if pending:
-            hung = sorted(
-                task.shard_index
-                for task, future in zip(tasks, futures)
-                if future in pending
-            )
-            self._abort_pool()
-            raise RuntimeError(
-                f"sharded round timed out after {self._timeout}s waiting for "
-                f"shard(s) {', '.join(str(index) for index in hung)}; "
-                "no partial merge was performed"
-            )
-        results: list[ShardResult] = []
-        for task, future in zip(tasks, futures):
-            try:
-                results.append(future.result())
-            except Exception as exc:
+        self._dispatch_round += 1
+        total = len(tasks)
+        results: list[ShardResult | None] = [None] * total
+        any_failed = False
+        pending = list(range(total))
+        attempt = 0
+        while pending:
+            pool = self._ensure_pool()
+            futures = {
+                position: pool.submit(
+                    _shard_entry, tasks[position], attempt, self._dispatch_round
+                )
+                for position in pending
+            }
+            _, not_done = wait(futures.values(), timeout=self._timeout)
+            if not_done:
+                hung_positions = sorted(
+                    position for position, future in futures.items() if future in not_done
+                )
+                done_map = {
+                    position: future
+                    for position, future in futures.items()
+                    if future not in not_done
+                }
                 self._abort_pool()
-                raise RuntimeError(
-                    f"shard {task.shard_index} failed: {exc}; "
-                    "no partial merge was performed"
-                ) from exc
-        return results
+                if self._degradation == "strict":
+                    hung = sorted(tasks[position].shard_index for position in hung_positions)
+                    raise RuntimeError(
+                        f"sharded round timed out after {self._timeout}s waiting for "
+                        f"shard(s) {', '.join(str(index) for index in hung)}; "
+                        "no partial merge was performed"
+                    )
+                # Quorum degradation: the hung shards are gone (the pool was
+                # just killed), but shards that did finish still count.  No
+                # further retries this round — the pool restart makes retry
+                # accounting ambiguous, and the round is already degraded.
+                for position in hung_positions:
+                    any_failed = True
+                    self._record_shard_failure(
+                        tasks[position],
+                        kind="shard-timeout",
+                        detail=(
+                            f"timed out after {self._timeout}s on attempt "
+                            f"{attempt}; shard dropped under quorum degradation"
+                        ),
+                    )
+                for position, future in done_map.items():
+                    try:
+                        results[position] = future.result()
+                    except Exception as exc:
+                        any_failed = True
+                        self._record_shard_failure(
+                            tasks[position],
+                            kind="shard-failed",
+                            detail=(
+                                f"failed on attempt {attempt} alongside a pool "
+                                f"timeout ({exc}); shard dropped under quorum "
+                                "degradation"
+                            ),
+                        )
+                pending = []
+                break
+            transient: list[int] = []
+            pool_broken = False
+            for position, future in futures.items():
+                task = tasks[position]
+                try:
+                    results[position] = future.result()
+                except (TransientShardError, BrokenProcessPool) as exc:
+                    transient.append(position)
+                    pool_broken = pool_broken or isinstance(exc, BrokenProcessPool)
+                    if attempt < self._retries:
+                        self._incidents.append(
+                            ShardIncident(
+                                kind="shard-retry",
+                                shard_index=task.shard_index,
+                                client_ids=tuple(int(cid) for cid in task.user_ids),
+                                detail=(
+                                    f"transient failure on attempt {attempt} "
+                                    f"({exc}); retrying"
+                                ),
+                            )
+                        )
+                    elif self._degradation == "strict":
+                        self._abort_pool()
+                        raise RuntimeError(
+                            f"shard {task.shard_index} failed: {exc}; "
+                            f"retries exhausted after {attempt + 1} attempt(s); "
+                            "no partial merge was performed"
+                        ) from exc
+                    else:
+                        any_failed = True
+                        self._record_shard_failure(
+                            task,
+                            kind="shard-failed",
+                            detail=(
+                                f"transient failure persisted through "
+                                f"{attempt + 1} attempt(s) ({exc}); shard "
+                                "dropped under quorum degradation"
+                            ),
+                        )
+                except Exception as exc:
+                    # Deterministic failure: fail fast with the shard id in
+                    # both degradation modes — retrying recomputes the same
+                    # bug, and a quorum merge over it would hide it.
+                    self._abort_pool()
+                    raise RuntimeError(
+                        f"shard {task.shard_index} failed: {exc}; "
+                        "no partial merge was performed"
+                    ) from exc
+            if pool_broken:
+                self._abort_pool()
+            if transient and attempt < self._retries:
+                pending = sorted(transient)
+                delay = self._backoff * (2.0**attempt)
+                if delay > 0:
+                    time.sleep(delay)
+            else:
+                pending = []
+            attempt += 1
+        surviving = [result for result in results if result is not None]
+        if any_failed and not surviving:
+            raise RuntimeError(
+                f"all {total} shard(s) failed; no partial merge was performed"
+            )
+        return surviving
+
+    def _record_shard_failure(
+        self, task: "MFShardTask | LoopShardTask", kind: str, detail: str
+    ) -> None:
+        """Record a dropped shard as an incident (quorum degradation only)."""
+        self._incidents.append(
+            ShardIncident(
+                kind=kind,
+                shard_index=task.shard_index,
+                client_ids=tuple(int(cid) for cid in task.user_ids),
+                detail=detail,
+            )
+        )
 
     def _ensure_pool(self) -> ProcessPoolExecutor:
         pool = self._state["pool"]

@@ -41,6 +41,7 @@ from repro.data.dataset import InteractionDataset
 from repro.exceptions import FederationError
 from repro.federated.client import BenignClient, MaliciousClient
 from repro.federated.config import FederatedConfig
+from repro.federated.dynamics import FaultSchedule, RoundFaults, RoundIncident
 from repro.federated.engine import BatchedRoundTrainer
 from repro.federated.history import EpochRecord, TrainingHistory
 from repro.federated.privacy import GaussianNoiseMechanism
@@ -80,6 +81,11 @@ class SimulationResult:
     user_factors: np.ndarray
     scorer: "MLPScorer | None" = None
     rounds_applied: int = 0
+
+    @property
+    def incidents(self) -> list[RoundIncident]:
+        """The run's structured degradation log (empty with dynamics off)."""
+        return self.history.incidents
 
     @property
     def final_er_at_5(self) -> float:
@@ -210,7 +216,31 @@ class FederatedSimulation:
                 num_factors=config.num_factors,
                 store=self._store,
                 timeout=config.worker_timeout,
+                retries=config.shard_retries,
+                backoff=config.shard_backoff,
+                degradation=config.degradation,
             )
+        # Federation dynamics: one dedicated, named fault stream (so enabling
+        # churn never perturbs any training/evaluation stream — with every
+        # rate at 0.0 no FaultSchedule is built and no stream is consumed,
+        # keeping historical seed histories byte-identical).
+        self._dynamics: FaultSchedule | None = None
+        if (
+            config.dropout_rate > 0.0
+            or config.crash_rate > 0.0
+            or config.straggler_rate > 0.0
+        ):
+            self._dynamics = FaultSchedule(
+                dropout_rate=config.dropout_rate,
+                crash_rate=config.crash_rate,
+                straggler_rate=config.straggler_rate,
+                rng=self._seeds.generator("fault-schedule"),
+            )
+        #: Stale-merge holding area: arrival round -> updates held back by
+        #: straggling clients, merged at the end of the round they arrive in.
+        self._pending_arrivals: dict[int, list[ClientUpdate]] = {}
+        self._history: TrainingHistory | None = None
+        self._current_epoch = 0
         self._trainer = BatchedRoundTrainer(
             self.benign_clients,
             config,
@@ -331,8 +361,11 @@ class FederatedSimulation:
             self.evaluate_every if self.evaluate_every is not None else max(1, epochs // 10)
         )
         history = TrainingHistory()
+        self._history = history
+        self._pending_arrivals = {}
 
         for epoch in range(1, epochs + 1):
+            self._current_epoch = epoch
             epoch_loss = self._run_epoch()
             should_evaluate = epoch % evaluate_every == 0 or epoch == epochs
             accuracy, exposure = self._evaluate() if should_evaluate else (None, None)
@@ -344,6 +377,18 @@ class FederatedSimulation:
                     exposure=exposure,
                 )
             )
+
+        # Stale-merge updates whose arrival round never came are lost when
+        # training ends; account for every one of them in the incident log.
+        for arrival_round in sorted(self._pending_arrivals):
+            for update in self._pending_arrivals[arrival_round]:
+                self._log_incident(
+                    "straggler-expired",
+                    (update.client_id,),
+                    f"stale update scheduled for round {arrival_round} "
+                    "never merged (training ended first)",
+                )
+        self._pending_arrivals = {}
 
         return SimulationResult(
             history=history,
@@ -427,9 +472,24 @@ class FederatedSimulation:
         return total_loss
 
     def _run_round(self, batch: np.ndarray) -> float:
-        """One aggregation round over the selected ``batch`` of clients."""
+        """One aggregation round over the selected ``batch`` of clients.
+
+        With federation dynamics enabled, the round's fault realization is
+        drawn first (aborting-and-redrawing below the reporter quorum,
+        before any training stream is consumed); dropped clients are removed
+        from the participant set entirely — they never train and never
+        report — while crashed clients and stragglers train with the round
+        and have their uploads disposed of afterwards.
+        """
         round_index = self.server.rounds_applied
-        selected_malicious = [int(cid) for cid in batch if int(cid) in self.malicious_clients]
+        faults = self._draw_round_faults(batch, round_index)
+        if faults is not None and faults.dropped:
+            participants = batch[~np.isin(batch, np.asarray(faults.dropped, dtype=np.int64))]
+        else:
+            participants = batch
+        selected_malicious = [
+            int(cid) for cid in participants if int(cid) in self.malicious_clients
+        ]
         if self.attack is not None and selected_malicious:
             self.attack.on_round_start(
                 round_index,
@@ -438,17 +498,31 @@ class FederatedSimulation:
                 selected_malicious,
             )
         if self.config.engine == "vectorized":
-            return self._run_round_vectorized(batch, round_index, selected_malicious)
-        return self._run_round_loop(batch, round_index)
+            return self._run_round_vectorized(
+                participants, round_index, selected_malicious, faults
+            )
+        return self._run_round_loop(participants, round_index, faults)
 
     def _run_round_vectorized(
-        self, batch: np.ndarray, round_index: int, selected_malicious: list[int]
+        self,
+        batch: np.ndarray,
+        round_index: int,
+        selected_malicious: list[int],
+        faults: RoundFaults | None = None,
     ) -> float:
-        """Batched round: all benign clients train in one stacked computation."""
+        """Batched round: all benign clients train in one stacked computation.
+
+        ``batch`` is the round's *participant* set (dropped clients already
+        removed).  With a fault realization, pending stale arrivals or a
+        degraded shard in play, the round structure is materialised to
+        per-client updates so crash/straggler dispositions can filter them;
+        the zero-fault round keeps the lazy structured path untouched.
+        """
         benign_ids = [int(cid) for cid in batch if int(cid) in self.benign_clients]
         round_updates, round_loss = self._trainer.train_round(
             benign_ids, self.server.item_factors, self.server.scorer
         )
+        shard_failures = self._drain_shard_incidents(round_index)
         if self.attack is not None and selected_malicious:
             crafted = [
                 self.attack.craft_update(
@@ -460,12 +534,30 @@ class FederatedSimulation:
                 for cid in selected_malicious
             ]
             round_updates = round_updates.extended(u for u in crafted if u is not None)
+        degraded = (
+            (faults is not None and not faults.is_clean)
+            or bool(self._pending_arrivals)
+            or bool(shard_failures)
+        )
+        if degraded:
+            updates = self._apply_dispositions(
+                round_updates.to_client_updates(), faults, round_index
+            )
+            self._check_post_round_quorum(
+                len(updates), int(batch.shape[0]), shard_failures, round_index
+            )
+            if self.update_observer is not None:
+                self.update_observer(round_index, updates)
+            self.server.apply_round(updates)
+            return round_loss
         if self.update_observer is not None:
             self.update_observer(round_index, round_updates.to_client_updates())
         self.server.apply_round(round_updates)
         return round_loss
 
-    def _run_round_loop(self, batch: np.ndarray, round_index: int) -> float:
+    def _run_round_loop(
+        self, batch: np.ndarray, round_index: int, faults: RoundFaults | None = None
+    ) -> float:
         """Reference round engine: one client at a time (kept for equivalence).
 
         Under the ``"batched"`` sampler the round's negatives are predrawn
@@ -480,6 +572,13 @@ class FederatedSimulation:
         and walks the batch in its original order, so privacy-noise draws,
         attack injection and aggregation are untouched and the histories are
         bit-identical to ``workers=1``.
+
+        ``batch`` is the participant set (dropped clients removed by
+        :meth:`_run_round`); crash/straggler dispositions are applied to the
+        collected uploads *after* the training walk, so stream consumption
+        and loss accounting match the vectorized engine exactly.  A client
+        whose shard was dropped under quorum degradation is skipped entirely
+        (its training never completed).
         """
         predrawn: dict[int, tuple[np.ndarray, np.ndarray]] = {}
         benign_ids: list[int] = []
@@ -490,13 +589,19 @@ class FederatedSimulation:
         sharded: dict[int, tuple[ClientUpdate, np.ndarray]] = {}
         if self._shard_executor is not None:
             sharded = self._loop_shard_results(benign_ids, predrawn)
+        shard_failures = self._drain_shard_incidents(round_index)
         updates: list[ClientUpdate] = []
         round_loss = 0.0
         for cid in batch:
             cid = int(cid)
             if cid in self.benign_clients:
                 if self._shard_executor is not None:
-                    update, grad_user = sharded[cid]
+                    entry = sharded.get(cid)
+                    if entry is None:
+                        # The client's shard failed and was dropped under
+                        # quorum degradation: no local step, no upload.
+                        continue
+                    update, grad_user = entry
                     client = self.benign_clients[cid]
                     client.user_vector = client.user_vector - client.learning_rate * grad_user
                     client.participation_count += 1
@@ -520,6 +625,10 @@ class FederatedSimulation:
             if update is not None:
                 updates.append(update)
 
+        updates = self._apply_dispositions(updates, faults, round_index)
+        self._check_post_round_quorum(
+            len(updates), int(batch.shape[0]), shard_failures, round_index
+        )
         if self.update_observer is not None:
             self.update_observer(round_index, updates)
         self.server.apply_round(updates)
@@ -564,10 +673,190 @@ class FederatedSimulation:
         merged = merge_sparse_rounds([result.updates for result in shard_results])  # type: ignore[misc]
         grad_users = np.concatenate([result.grad_users for result in shard_results], axis=0)
         updates = merged.to_client_updates()
+        # Keyed off the *merged* client ids, not ``benign_ids``: under quorum
+        # degradation a failed shard's clients are absent from the merge, and
+        # the caller skips them.
         return {
-            cid: (updates[index], grad_users[index])
-            for index, cid in enumerate(benign_ids)
+            int(cid): (updates[index], grad_users[index])
+            for index, cid in enumerate(merged.client_ids)
         }
+
+    # ------------------------------------------------------------------ #
+    # Federation dynamics
+    # ------------------------------------------------------------------ #
+    def _log_incident(
+        self, kind: str, client_ids: tuple[int, ...], detail: str
+    ) -> None:
+        """Append one degradation event to the active history's incident log."""
+        if self._history is None:
+            return
+        self._history.record_incident(
+            RoundIncident(
+                round_index=self.server.rounds_applied,
+                epoch=self._current_epoch,
+                kind=kind,
+                client_ids=client_ids,
+                detail=detail,
+            )
+        )
+
+    def _draw_round_faults(
+        self, batch: np.ndarray, round_index: int
+    ) -> RoundFaults | None:
+        """Draw the round's fault realization, enforcing the reporter quorum.
+
+        A draw whose planned reporter count — sampled clients minus dropouts,
+        crashes and (under a non-``"wait"`` policy) stragglers — falls below
+        ``min(min_reporters, batch size)`` aborts *before any training stream
+        is consumed*, logs a ``"quorum-abort"`` incident and redraws; ten
+        consecutive failed draws raise :class:`FederationError`.  Returns
+        ``None`` when dynamics are disabled.
+        """
+        if self._dynamics is None:
+            return None
+        batch_size = int(batch.shape[0])
+        quorum = min(self.config.min_reporters, batch_size)
+        policy = self.config.straggler_policy
+        for _ in range(10):
+            faults = self._dynamics.draw(round_index, batch)
+            planned = batch_size - len(faults.dropped) - len(faults.crashed)
+            if policy != "wait":
+                planned -= len(faults.stragglers)
+            if planned >= quorum:
+                if faults.dropped:
+                    self._log_incident(
+                        "client-dropout",
+                        tuple(sorted(faults.dropped)),
+                        f"{len(faults.dropped)} of {batch_size} sampled "
+                        "clients dropped out (never trained, never reported)",
+                    )
+                if faults.crashed:
+                    self._log_incident(
+                        "client-crash",
+                        tuple(sorted(faults.crashed)),
+                        f"{len(faults.crashed)} of {batch_size} sampled "
+                        "clients crashed mid-update (uploads discarded)",
+                    )
+                if faults.stragglers:
+                    self._log_incident(
+                        "straggler",
+                        tuple(sorted(faults.stragglers)),
+                        f"{len(faults.stragglers)} of {batch_size} sampled "
+                        f"clients straggled (policy={policy!r})",
+                    )
+                return faults
+            failing = tuple(
+                sorted(faults.dropped + faults.crashed + faults.stragglers)
+            )
+            self._log_incident(
+                "quorum-abort",
+                failing,
+                f"planned reporters {planned} below quorum {quorum}; "
+                "round aborted before training and its fault schedule redrawn",
+            )
+        raise FederationError(
+            f"round {round_index} failed its reporter quorum ({quorum}) "
+            "after 10 fault-schedule redraws; lower min_reporters or the "
+            "fault rates"
+        )
+
+    def _collect_arrivals(self, round_index: int) -> list[ClientUpdate]:
+        """Pop every stale-merge update whose arrival round has come."""
+        if not self._pending_arrivals:
+            return []
+        due = sorted(
+            arrival for arrival in self._pending_arrivals if arrival <= round_index
+        )
+        arrivals: list[ClientUpdate] = []
+        for arrival in due:
+            arrivals.extend(self._pending_arrivals.pop(arrival))
+        return arrivals
+
+    def _apply_dispositions(
+        self,
+        updates: list[ClientUpdate],
+        faults: RoundFaults | None,
+        round_index: int,
+    ) -> list[ClientUpdate]:
+        """Apply the round's crash/straggler dispositions to its uploads.
+
+        Crashed clients' uploads are discarded; stragglers' uploads follow
+        ``straggler_policy`` (kept under ``"wait"``, dropped under
+        ``"discard"``, held back and merged ``delay`` rounds later under
+        ``"stale-merge"``).  Stale arrivals due this round are appended at
+        the end, after the round's own reporters, in arrival order.
+        """
+        arrivals = self._collect_arrivals(round_index)
+        if faults is None or faults.is_clean:
+            return updates + arrivals if arrivals else updates
+        policy = self.config.straggler_policy
+        crashed = faults.crashed_set
+        stragglers = faults.straggler_set
+        kept: list[ClientUpdate] = []
+        for update in updates:
+            cid = update.client_id
+            if cid in crashed:
+                continue
+            if cid in stragglers:
+                if policy == "discard":
+                    continue
+                if policy == "stale-merge":
+                    arrival = round_index + faults.delays.get(cid, 1)
+                    self._pending_arrivals.setdefault(arrival, []).append(update)
+                    continue
+            kept.append(update)
+        return kept + arrivals
+
+    def _drain_shard_incidents(self, round_index: int) -> list[RoundIncident]:
+        """Convert the executor's shard incidents into round incidents.
+
+        Returns the *failure* incidents (``"shard-failed"`` /
+        ``"shard-timeout"`` — a shard actually dropped from the merge under
+        quorum degradation); retries that eventually succeeded are logged
+        but not returned.
+        """
+        if self._shard_executor is None:
+            return []
+        failures: list[RoundIncident] = []
+        for shard_incident in self._shard_executor.drain_incidents():
+            incident = RoundIncident(
+                round_index=round_index,
+                epoch=self._current_epoch,
+                kind=shard_incident.kind,
+                client_ids=tuple(sorted(shard_incident.client_ids)),
+                detail=f"shard {shard_incident.shard_index}: {shard_incident.detail}",
+            )
+            if self._history is not None:
+                self._history.record_incident(incident)
+            if shard_incident.kind != "shard-retry":
+                failures.append(incident)
+        return failures
+
+    def _check_post_round_quorum(
+        self,
+        reporters: int,
+        participant_count: int,
+        shard_failures: list[RoundIncident],
+        round_index: int,
+    ) -> None:
+        """Enforce the reporter quorum after a shard was dropped.
+
+        Client-level faults are quorum-checked *before* training (and can
+        redraw); a shard failure surfaces only after the round's streams are
+        consumed, so falling below quorum here is unrecoverable and raises —
+        a degraded round is merged only while the quorum holds, and never
+        silently.
+        """
+        if not shard_failures:
+            return
+        if self.config.degradation == "quorum":
+            quorum = min(self.config.min_reporters, participant_count)
+            if reporters < quorum:
+                raise FederationError(
+                    f"round {round_index} dropped {len(shard_failures)} "
+                    f"shard(s) and its reporter count {reporters} fell below "
+                    f"the quorum {quorum}; aborting instead of merging"
+                )
 
     # ------------------------------------------------------------------ #
     # Evaluation

@@ -44,8 +44,9 @@ class SwitchSpec:
         ...).
     kind:
         ``"choice"`` (a string drawn from :attr:`choices`), ``"int"`` (an
-        integer bounded below by :attr:`minimum`) or ``"float"`` (a positive
-        float, optionally ``None`` — see :attr:`optional`).
+        integer bounded below by :attr:`minimum`), ``"float"`` (a positive
+        float, optionally ``None`` — see :attr:`optional`) or ``"rate"`` (a
+        probability in ``[0, 1]``, zero allowed — the dynamics rates).
     default:
         The default value; must equal the dataclass field default on
         ``FederatedConfig`` and ``ExperimentConfig`` (repro-lint R5 checks
@@ -80,7 +81,7 @@ class SwitchSpec:
         """The argparse ``type`` callable parsing this switch's values."""
         if self.kind == "int":
             return int
-        if self.kind == "float":
+        if self.kind in ("float", "rate"):
             return float
         return str
 
@@ -117,6 +118,12 @@ class SwitchSpec:
                     f"{self.name} must be positive"
                     + (" (or None to wait forever)" if self.optional else "")
                 )
+            return
+        if self.kind == "rate":
+            if isinstance(value, bool) or not isinstance(value, numbers.Real):
+                raise ConfigurationError(f"{self.name} must be a number, got {value!r}")
+            if not 0.0 <= float(value) <= 1.0:
+                raise ConfigurationError(f"{self.name} must be in [0, 1]")
             return
         raise ConfigurationError(f"unknown switch kind {self.kind!r} for {self.name!r}")
 
@@ -176,6 +183,66 @@ SWITCH_REGISTRY: tuple[SwitchSpec, ...] = (
         default=None,
         optional=True,
         help="seconds to wait for a sharded round before aborting (default: forever)",
+    ),
+    SwitchSpec(
+        name="dropout_rate",
+        kind="rate",
+        default=0.0,
+        help="per-round probability that a sampled client drops out and never reports",
+    ),
+    SwitchSpec(
+        name="crash_rate",
+        kind="rate",
+        default=0.0,
+        help="per-round probability that a sampled client crashes mid-update (trains, upload lost)",
+    ),
+    SwitchSpec(
+        name="straggler_rate",
+        kind="rate",
+        default=0.0,
+        help="per-round probability that a sampled client straggles (reports late)",
+    ),
+    SwitchSpec(
+        name="straggler_policy",
+        kind="choice",
+        default="wait",
+        choices=("wait", "discard", "stale-merge"),
+        help=(
+            "what the round does with straggler reports: 'wait' (default, the "
+            "round waits), 'discard' (late updates dropped) or 'stale-merge' "
+            "(late updates merged in the round they arrive)"
+        ),
+    ),
+    SwitchSpec(
+        name="min_reporters",
+        kind="int",
+        default=0,
+        minimum=0,
+        help="reporter quorum: a round below it aborts and redraws its fault schedule (0: disabled)",
+    ),
+    SwitchSpec(
+        name="shard_retries",
+        kind="int",
+        default=0,
+        minimum=0,
+        help="retries per shard for transient worker failures (exponential backoff)",
+    ),
+    SwitchSpec(
+        name="shard_backoff",
+        kind="float",
+        default=0.05,
+        help="base backoff seconds between shard retries (doubles per attempt)",
+    ),
+    SwitchSpec(
+        name="degradation",
+        kind="choice",
+        default="strict",
+        choices=("strict", "quorum"),
+        help=(
+            "sharded-round failure policy: 'strict' (default, any failed shard "
+            "aborts the round) or 'quorum' (surviving shards merge iff the "
+            "reporter quorum holds, logged as a RoundIncident)"
+        ),
     ),
 )
 

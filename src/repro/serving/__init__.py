@@ -26,6 +26,7 @@ same snapshot at the same block size.
 """
 
 from repro.serving.exposure import exposure_under_serving
+from repro.serving.faults import InjectedServingError, ServingFaultInjector
 from repro.serving.http import build_http_server, run_http_server
 from repro.serving.service import Recommendation, RecommenderService
 from repro.serving.snapshot import FactorSnapshot
@@ -37,4 +38,6 @@ __all__ = [
     "build_http_server",
     "run_http_server",
     "exposure_under_serving",
+    "InjectedServingError",
+    "ServingFaultInjector",
 ]

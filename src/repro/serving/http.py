@@ -4,7 +4,9 @@ A deliberately small ``http.server``-based surface — no third-party web
 framework, matching the repo's stdlib+numpy dependency policy:
 
 * ``GET /health`` — liveness plus the served snapshot's shape and version,
-* ``GET /stats`` — the service's cache counters,
+* ``GET /stats`` — the service's cache counters plus the front end's
+  robustness counters (in-flight requests, shed requests, deadline hits,
+  injected errors),
 * ``GET /recommend?user=U[&k=K]`` — one user's top-K list,
 * ``POST /recommend`` with ``{"users": [...], "k": K}`` — a batched query
   answered through :meth:`~repro.serving.service.RecommenderService.top_k_batch`
@@ -13,19 +15,44 @@ framework, matching the repo's stdlib+numpy dependency policy:
 Errors come back as ``{"error": ...}`` with a 400 (bad request / unknown
 user) or 404 (unknown path).  The server is a ``ThreadingHTTPServer``; the
 service's internal lock makes concurrent handler threads safe.
+
+Robustness (PR 9):
+
+* **Bounded admission.**  ``max_in_flight`` caps concurrently served
+  ``/recommend`` requests; excess load is *shed* with a JSON 503 carrying a
+  ``Retry-After`` header instead of queueing unboundedly.  ``/health`` and
+  ``/stats`` are exempt, so the server stays observable while overloaded.
+* **Per-request deadlines.**  ``request_timeout`` turns a slow ``/recommend``
+  answer into a JSON 504 (the work is done by then — the deadline bounds the
+  *response*, the client contract, not the computation).
+* **Fault injection.**  An optional
+  :class:`~repro.serving.faults.ServingFaultInjector` runs inside the held
+  admission slot (injected latency therefore drives real load-shedding) and
+  its injected failures surface as JSON 500s.
+* **Clean shutdown.**  :func:`run_http_server` handles ``SIGINT`` /
+  ``SIGTERM`` / ``KeyboardInterrupt`` by closing the listening socket and
+  draining in-flight requests for a bounded ``drain_timeout`` — no traceback
+  out of ``serve_forever``, no dropped in-flight connections.
 """
 
 from __future__ import annotations
 
 import json
+import signal
+import threading
+import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import Any
+from typing import Any, Callable
 from urllib.parse import parse_qs, urlparse
 
 from repro.exceptions import ServingError
+from repro.serving.faults import InjectedServingError, ServingFaultInjector
 from repro.serving.service import RecommenderService
 
 __all__ = ["build_http_server", "run_http_server"]
+
+#: Seconds suggested to shed clients in the 503 ``Retry-After`` header.
+RETRY_AFTER_SECONDS = 1
 
 
 class _ServingRequestHandler(BaseHTTPRequestHandler):
@@ -38,16 +65,65 @@ class _ServingRequestHandler(BaseHTTPRequestHandler):
     def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
         pass
 
-    def _send_json(self, status: int, payload: dict[str, object]) -> None:
+    def _send_json(
+        self,
+        status: int,
+        payload: dict[str, object],
+        headers: dict[str, str] | None = None,
+    ) -> None:
         body = json.dumps(payload).encode("utf-8")
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
+        if headers:
+            for name, value in headers.items():
+                self.send_header(name, value)
         self.end_headers()
         self.wfile.write(body)
 
     def _send_error_json(self, status: int, message: str) -> None:
         self._send_json(status, {"error": message})
+
+    def _admitted(
+        self, compute: Callable[[], tuple[int, dict[str, object]]]
+    ) -> None:
+        """Run one ``/recommend`` answer under admission, faults and deadline.
+
+        Admission is non-blocking: a full server sheds the request with a
+        503 + ``Retry-After`` rather than queueing it.  The fault injector
+        (when configured) runs while the slot is held, so injected latency
+        creates the same back-pressure real slowness would.  The deadline is
+        checked after computing the answer — the response, not the
+        computation, is what the 504 bounds.
+        """
+        server = self.server
+        if not server.try_admit():
+            self._send_json(
+                503,
+                {"error": "server over capacity; retry shortly"},
+                headers={"Retry-After": str(RETRY_AFTER_SECONDS)},
+            )
+            return
+        started = time.monotonic()
+        try:
+            injector = server.fault_injector
+            if injector is not None:
+                try:
+                    injector.before_request(self.path)
+                except InjectedServingError as error:
+                    server.note_injected_error()
+                    self._send_error_json(500, str(error))
+                    return
+            status, payload = compute()
+            if server.deadline_exceeded(started):
+                self._send_error_json(
+                    504,
+                    f"response deadline of {server.request_timeout}s exceeded",
+                )
+                return
+            self._send_json(status, payload)
+        finally:
+            server.release()
 
     def do_GET(self) -> None:  # noqa: N802 - http.server API
         service = self.server.service
@@ -65,33 +141,38 @@ class _ServingRequestHandler(BaseHTTPRequestHandler):
             )
             return
         if parsed.path == "/stats":
-            self._send_json(200, dict(service.stats()))
+            self._send_json(200, self.server.stats_payload())
             return
         if parsed.path == "/recommend":
-            query = parse_qs(parsed.query)
-            try:
-                user = int(query["user"][0])
-                k = int(query["k"][0]) if "k" in query else None
-            except (KeyError, ValueError):
-                self._send_error_json(
-                    400, "GET /recommend requires integer 'user' (and optional 'k')"
-                )
-                return
-            try:
-                recommendation = service.top_k(user, k)
-            except ServingError as error:
-                self._send_error_json(400, str(error))
-                return
-            self._send_json(200, recommendation.to_json_dict())
+            self._admitted(lambda: self._recommend_single(parsed.query))
             return
         self._send_error_json(404, f"unknown path {parsed.path!r}")
 
-    def do_POST(self) -> None:  # noqa: N802 - http.server API
+    def _recommend_single(self, raw_query: str) -> tuple[int, dict[str, object]]:
         service = self.server.service
+        query = parse_qs(raw_query)
+        try:
+            user = int(query["user"][0])
+            k = int(query["k"][0]) if "k" in query else None
+        except (KeyError, ValueError):
+            return 400, {
+                "error": "GET /recommend requires integer 'user' (and optional 'k')"
+            }
+        try:
+            recommendation = service.top_k(user, k)
+        except ServingError as error:
+            return 400, {"error": str(error)}
+        return 200, recommendation.to_json_dict()
+
+    def do_POST(self) -> None:  # noqa: N802 - http.server API
         parsed = urlparse(self.path)
         if parsed.path != "/recommend":
             self._send_error_json(404, f"unknown path {parsed.path!r}")
             return
+        self._admitted(self._recommend_batch)
+
+    def _recommend_batch(self) -> tuple[int, dict[str, object]]:
+        service = self.server.service
         try:
             length = int(self.headers.get("Content-Length", "0"))
             payload = json.loads(self.rfile.read(length).decode("utf-8"))
@@ -104,44 +185,140 @@ class _ServingRequestHandler(BaseHTTPRequestHandler):
             if k is not None and not isinstance(k, int):
                 raise ValueError("'k' must be an integer when given")
         except (ValueError, KeyError, TypeError) as error:
-            self._send_error_json(400, f"bad batch request: {error}")
-            return
+            return 400, {"error": f"bad batch request: {error}"}
         try:
             recommendations = service.top_k_batch(users, k)
         except ServingError as error:
-            self._send_error_json(400, str(error))
-            return
-        self._send_json(
-            200,
-            {
-                "recommendations": [
-                    recommendation.to_json_dict() for recommendation in recommendations
-                ]
-            },
-        )
+            return 400, {"error": str(error)}
+        return 200, {
+            "recommendations": [
+                recommendation.to_json_dict() for recommendation in recommendations
+            ]
+        }
 
 
 class _ServingHTTPServer(ThreadingHTTPServer):
-    """ThreadingHTTPServer carrying the service for its handlers."""
+    """ThreadingHTTPServer carrying the service plus robustness state.
+
+    One lock/condition pair guards the admission counter and the robustness
+    counters; handler threads admit non-blockingly and the shutdown path
+    waits on the condition to drain in-flight requests.
+    """
 
     daemon_threads = True
 
-    def __init__(self, address: tuple[str, int], service: RecommenderService) -> None:
+    def __init__(
+        self,
+        address: tuple[str, int],
+        service: RecommenderService,
+        *,
+        request_timeout: float | None = None,
+        max_in_flight: int | None = None,
+        fault_injector: ServingFaultInjector | None = None,
+    ) -> None:
+        if request_timeout is not None and request_timeout <= 0:
+            raise ServingError(
+                f"request_timeout must be positive or None, got {request_timeout}"
+            )
+        if max_in_flight is not None and max_in_flight <= 0:
+            raise ServingError(
+                f"max_in_flight must be positive or None, got {max_in_flight}"
+            )
         super().__init__(address, _ServingRequestHandler)
         self.service = service
+        self.request_timeout = request_timeout
+        self.max_in_flight = max_in_flight
+        self.fault_injector = fault_injector
+        self._admission = threading.Condition(threading.Lock())
+        self._in_flight = 0
+        self._shed_requests = 0
+        self._deadline_hits = 0
+        self._injected_errors = 0
+
+    def try_admit(self) -> bool:
+        """Claim an in-flight slot, or shed the request (non-blocking)."""
+        with self._admission:
+            if (
+                self.max_in_flight is not None
+                and self._in_flight >= self.max_in_flight
+            ):
+                self._shed_requests += 1
+                return False
+            self._in_flight += 1
+            return True
+
+    def release(self) -> None:
+        """Release an admitted request's slot and wake any drain waiter."""
+        with self._admission:
+            self._in_flight -= 1
+            self._admission.notify_all()
+
+    def deadline_exceeded(self, started: float) -> bool:
+        """Whether the request blew its response deadline (counted if so)."""
+        if self.request_timeout is None:
+            return False
+        if time.monotonic() - started <= self.request_timeout:
+            return False
+        with self._admission:
+            self._deadline_hits += 1
+        return True
+
+    def note_injected_error(self) -> None:
+        """Count one injected (fault-injector) request failure."""
+        with self._admission:
+            self._injected_errors += 1
+
+    def stats_payload(self) -> dict[str, object]:
+        """The service's cache counters merged with the front end's."""
+        payload: dict[str, object] = dict(self.service.stats())
+        with self._admission:
+            payload["in_flight"] = self._in_flight
+            payload["shed_requests"] = self._shed_requests
+            payload["deadline_hits"] = self._deadline_hits
+            payload["injected_errors"] = self._injected_errors
+        return payload
+
+    def drain(self, timeout: float) -> bool:
+        """Wait up to ``timeout`` seconds for in-flight requests to finish.
+
+        Returns whether the server fully drained — ``False`` means handler
+        threads were still running at the deadline (they are daemons, so
+        process exit will not hang on them).
+        """
+        deadline = time.monotonic() + timeout
+        with self._admission:
+            while self._in_flight > 0:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    return False
+                self._admission.wait(remaining)
+            return True
 
 
 def build_http_server(
-    service: RecommenderService, host: str = "127.0.0.1", port: int = 0
-) -> ThreadingHTTPServer:
+    service: RecommenderService,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    *,
+    request_timeout: float | None = None,
+    max_in_flight: int | None = None,
+    fault_injector: ServingFaultInjector | None = None,
+) -> _ServingHTTPServer:
     """A bound (but not yet serving) HTTP server for ``service``.
 
     ``port=0`` binds an ephemeral port (read it back from
     ``server.server_address``) — the form the tests use.  Call
     ``serve_forever()`` on the result (typically from a thread) and
-    ``shutdown()`` / ``server_close()`` to stop.
+    ``shutdown()`` / ``server_close()`` to stop.  See
+    :class:`_ServingHTTPServer` for the robustness knobs.
     """
-    return _ServingHTTPServer((host, port), service)
+    return _ServingHTTPServer(
+        (host, port),
+        service,
+        request_timeout=request_timeout,
+        max_in_flight=max_in_flight,
+        fault_injector=fault_injector,
+    )
 
 
 def run_http_server(
@@ -150,26 +327,71 @@ def run_http_server(
     port: int = 8080,
     *,
     max_requests: int | None = None,
+    request_timeout: float | None = None,
+    max_in_flight: int | None = None,
+    fault_injector: ServingFaultInjector | None = None,
+    drain_timeout: float = 5.0,
+    stop_event: threading.Event | None = None,
 ) -> tuple[str, int]:
-    """Bind and serve until interrupted; returns the bound ``(host, port)``.
+    """Bind and serve until stopped; returns the bound ``(host, port)``.
 
     ``max_requests`` bounds the number of requests handled before returning
     (``0`` binds, reports the address and returns without serving — the CLI
-    smoke-test mode); ``None`` serves until ``KeyboardInterrupt``.
+    smoke-test mode); ``None`` serves until stopped.
+
+    The open-ended mode shuts down *cleanly*: ``SIGINT`` / ``SIGTERM``
+    (installed only when running on the main thread) or ``stop_event`` (the
+    programmatic/test hook) stop the accept loop, close the listening socket
+    so no new connections land, then drain in-flight requests for up to
+    ``drain_timeout`` seconds before returning — instead of tracebacking out
+    of ``serve_forever`` mid-request.
     """
     if max_requests is not None and max_requests < 0:
         raise ServingError(f"max_requests must be non-negative, got {max_requests}")
-    server = build_http_server(service, host, port)
+    if drain_timeout < 0:
+        raise ServingError(f"drain_timeout must be non-negative, got {drain_timeout}")
+    server = build_http_server(
+        service,
+        host,
+        port,
+        request_timeout=request_timeout,
+        max_in_flight=max_in_flight,
+        fault_injector=fault_injector,
+    )
     bound_host, bound_port = server.server_address[0], int(server.server_address[1])
-    try:
-        if max_requests is None:
-            try:
-                server.serve_forever()
-            except KeyboardInterrupt:
-                pass
-        else:
+    if max_requests is not None:
+        try:
             for _ in range(max_requests):
                 server.handle_request()
+        finally:
+            server.server_close()
+        return str(bound_host), bound_port
+
+    stop = stop_event if stop_event is not None else threading.Event()
+    previous_handlers: dict[int, Any] = {}
+    if threading.current_thread() is threading.main_thread():
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            try:
+                previous_handlers[signum] = signal.signal(
+                    signum, lambda _signum, _frame: stop.set()
+                )
+            except (ValueError, OSError):  # pragma: no cover - exotic platforms
+                pass
+    serve_thread = threading.Thread(
+        target=server.serve_forever, kwargs={"poll_interval": 0.1}, daemon=True
+    )
+    serve_thread.start()
+    try:
+        while not stop.is_set():
+            try:
+                stop.wait(0.2)
+            except KeyboardInterrupt:
+                stop.set()
     finally:
+        server.shutdown()
+        serve_thread.join(timeout=5.0)
         server.server_close()
+        server.drain(drain_timeout)
+        for signum, handler in previous_handlers.items():
+            signal.signal(signum, handler)
     return str(bound_host), bound_port

@@ -141,6 +141,7 @@ class RecommenderService:
         self._memo_hits = 0
         self._blocks_scored = 0
         self._snapshot_swaps = 0
+        self._failed_swaps = 0
 
     @property
     def snapshot(self) -> FactorSnapshot:
@@ -173,6 +174,7 @@ class RecommenderService:
                 "cached_blocks": len(self._block_scores),
                 "memo_entries": len(self._memo),
                 "snapshot_swaps": self._snapshot_swaps,
+                "failed_swaps": self._failed_swaps,
                 "snapshot_version": self._snapshot.version,
             }
 
@@ -182,19 +184,36 @@ class RecommenderService:
         The new snapshot must cover the same user/item universe (the masking
         store and block partitioning are built for it); anything else is a
         deployment error, not a swap.
+
+        The swap is all-or-nothing: the new snapshot's model is built *before*
+        any service state is touched, so a snapshot whose model construction
+        fails leaves the old snapshot, model and caches fully in place (the
+        failure is counted in ``stats()['failed_swaps']`` and re-raised as a
+        :class:`~repro.exceptions.ServingError`).
         """
         if (
             snapshot.n_users != self._snapshot.n_users
             or snapshot.n_items != self._snapshot.n_items
         ):
+            with self._lock:
+                self._failed_swaps += 1
             raise ServingError(
                 f"swapped snapshot covers ({snapshot.n_users}, {snapshot.n_items}) "
                 f"users/items but the service was built for "
                 f"({self._snapshot.n_users}, {self._snapshot.n_items})"
             )
+        try:
+            model = snapshot.model()
+        except Exception as error:
+            with self._lock:
+                self._failed_swaps += 1
+            raise ServingError(
+                f"snapshot swap rolled back: building the new snapshot's "
+                f"model failed ({error}); the previous snapshot is still served"
+            ) from error
         with self._lock:
             self._snapshot = snapshot
-            self._model = snapshot.model()
+            self._model = model
             self._block_scores.clear()
             self._memo.clear()
             self._snapshot_swaps += 1

@@ -110,6 +110,53 @@ GOLDEN_CASES["mf-attack-workers2"] = {
     "engine": "vectorized",
     "workers": 2,
 }
+# Federation dynamics: seeded churn/straggler realizations are part of the
+# seed-history contract, so each straggler policy (and the quorum degradation
+# mode) pins one degraded-but-deterministic history — including its full
+# incident log.  The rates are moderate so every round still meets the
+# min_reporters quorum without redraw storms.
+_DYNAMICS = dict(
+    dropout_rate=0.15,
+    crash_rate=0.1,
+    straggler_rate=0.2,
+    min_reporters=2,
+)
+GOLDEN_CASES["mf-benign-dynamics-wait"] = {
+    **_BASE,
+    **_BENIGN,
+    **_DYNAMICS,
+    "engine": "vectorized",
+    "straggler_policy": "wait",
+    "degradation": "strict",
+}
+GOLDEN_CASES["mf-benign-dynamics-discard"] = {
+    **_BASE,
+    **_BENIGN,
+    **_DYNAMICS,
+    "engine": "vectorized",
+    "straggler_policy": "discard",
+    "degradation": "strict",
+}
+GOLDEN_CASES["mf-attack-dynamics-stale"] = {
+    **_BASE,
+    **_ATTACK,
+    **_DYNAMICS,
+    "engine": "vectorized",
+    "straggler_policy": "stale-merge",
+    "degradation": "strict",
+}
+# Quorum degradation changes behaviour only when a shard actually fails (no
+# plan is installed here), so this history doubles as proof that enabling it
+# is free: it must stay bit-identical to the same run under "strict".
+GOLDEN_CASES["mf-benign-dynamics-quorum-workers2"] = {
+    **_BASE,
+    **_BENIGN,
+    **_DYNAMICS,
+    "engine": "vectorized",
+    "workers": 2,
+    "straggler_policy": "wait",
+    "degradation": "quorum",
+}
 
 
 def serialize_result(result: ExperimentResult) -> dict:
@@ -140,11 +187,25 @@ def serialize_result(result: ExperimentResult) -> dict:
                 },
             }
         )
-    return {
+    payload = {
         "target_items": [int(item) for item in result.target_items],
         "num_malicious": result.num_malicious,
         "history": records,
     }
+    # The structured degradation log is part of a dynamics case's contract;
+    # clean runs omit the key so the pre-dynamics fixtures stay byte-stable.
+    if result.incidents:
+        payload["incidents"] = [
+            {
+                "round_index": incident.round_index,
+                "epoch": incident.epoch,
+                "kind": incident.kind,
+                "client_ids": list(incident.client_ids),
+                "detail": incident.detail,
+            }
+            for incident in result.incidents
+        ]
+    return payload
 
 
 def run_case(name: str) -> dict:

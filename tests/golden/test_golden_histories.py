@@ -39,6 +39,10 @@ def test_history_matches_committed_fixture(name):
     committed = fixture["result"]
     assert replayed["target_items"] == committed["target_items"]
     assert replayed["num_malicious"] == committed["num_malicious"]
+    assert replayed.get("incidents", []) == committed.get("incidents", []), (
+        f"degradation history of {name!r} drifted — the fault schedule is "
+        "seeded, so incidents must replay exactly"
+    )
     assert len(replayed["history"]) == len(committed["history"])
     for got, expected in zip(replayed["history"], committed["history"]):
         assert got == expected, (

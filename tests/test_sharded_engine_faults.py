@@ -1,13 +1,13 @@
-"""Fault injection for the sharded round engine.
+"""Fault injection for the resilient sharded round engine.
 
-A sharded round must either merge *every* shard in shard order or abort the
-whole round with a clean error naming the failing shard — a silent partial
-merge would corrupt the training history undetectably.  These tests
-monkeypatch the worker-side dispatch hook
-:data:`repro.federated.sharding._execute_shard` *before* the pool forks (the
-pool starts lazily on the first round, so fork-started workers inherit the
-patched behaviour) to inject crashes, hangs and adversarial completion
-orders.
+A sharded round must either merge a well-defined reporter set in shard order
+or abort the whole round with a clean error naming the failing shard — a
+silent partial merge would corrupt the training history undetectably.  These
+tests drive crashes, hangs, transient failures and adversarial completion
+orders through the *public* fault-injection surface
+(:class:`repro.federated.dynamics.ShardFaultPlan`, installed in the parent
+before the worker pool forks so fork-started workers inherit it) rather than
+the monkeypatch-only hooks the suite originally used.
 """
 
 from __future__ import annotations
@@ -22,11 +22,22 @@ try:  # pragma: no cover - exercised only on crippled platforms
 except ImportError:  # pragma: no cover
     pytest.skip("process pools unavailable on this platform", allow_module_level=True)
 
-from repro.exceptions import ConfigurationError
-from repro.federated import sharding
+from repro.exceptions import ConfigurationError, FederationError
 from repro.federated.config import FederatedConfig
+from repro.federated.dynamics import (
+    ShardFaultPlan,
+    clear_shard_fault_plan,
+    install_shard_fault_plan,
+)
 from repro.federated.simulation import FederatedSimulation
 from repro.rng import SeedSequenceFactory
+
+
+@pytest.fixture(autouse=True)
+def _clear_plan_after_test():
+    """Never leak an installed fault plan into a later test."""
+    yield
+    clear_shard_fault_plan()
 
 
 def _make_simulation(small_split, small_targets, workers, engine="vectorized", **kwargs):
@@ -49,19 +60,21 @@ def _make_simulation(small_split, small_targets, workers, engine="vectorized", *
     )
 
 
-class TestWorkerCrash:
+def _run(simulation):
+    try:
+        return simulation.run()
+    finally:
+        simulation.close()
+
+
+class TestDeterministicFailures:
     @pytest.mark.parametrize("engine", ("loop", "vectorized"))
-    def test_raising_shard_aborts_round_with_shard_id(
-        self, small_split, small_targets, monkeypatch, engine
+    def test_failing_shard_aborts_round_with_shard_id(
+        self, small_split, small_targets, engine
     ):
-        original = sharding._execute_shard
-
-        def crash_shard_one(task):
-            if task.shard_index == 1:
-                raise ValueError("injected shard failure")
-            return original(task)
-
-        monkeypatch.setattr(sharding, "_execute_shard", crash_shard_one)
+        install_shard_fault_plan(
+            ShardFaultPlan(deterministic_failures={1: "injected shard failure"})
+        )
         simulation = _make_simulation(small_split, small_targets, workers=2, engine=engine)
         try:
             with pytest.raises(RuntimeError, match=r"shard 1 failed: .*injected shard failure"):
@@ -71,13 +84,126 @@ class TestWorkerCrash:
         finally:
             simulation.close()
 
-    def test_error_message_promises_no_partial_merge(
-        self, small_split, small_targets, monkeypatch
-    ):
-        def crash_everything(task):
-            raise RuntimeError("worker exploded")
+    def test_error_message_promises_no_partial_merge(self, small_split, small_targets):
+        install_shard_fault_plan(
+            ShardFaultPlan(
+                deterministic_failures={0: "worker exploded", 1: "worker exploded"}
+            )
+        )
+        simulation = _make_simulation(small_split, small_targets, workers=2)
+        try:
+            with pytest.raises(RuntimeError, match="no partial merge was performed"):
+                simulation.run()
+        finally:
+            simulation.close()
 
-        monkeypatch.setattr(sharding, "_execute_shard", crash_everything)
+    def test_deterministic_failure_is_never_retried(self, small_split, small_targets):
+        # Generous retry budget — a deterministic failure must still abort on
+        # the first attempt instead of burning retries recomputing it.
+        install_shard_fault_plan(
+            ShardFaultPlan(deterministic_failures={1: "always wrong"})
+        )
+        simulation = _make_simulation(
+            small_split, small_targets, workers=2, shard_retries=5
+        )
+        try:
+            with pytest.raises(RuntimeError, match=r"shard 1 failed: .*always wrong"):
+                simulation.run()
+            assert not any(
+                incident.kind == "shard-retry"
+                for incident in simulation._history.incidents
+            )
+        finally:
+            simulation.close()
+
+    def test_quorum_degradation_does_not_mask_deterministic_failures(
+        self, small_split, small_targets
+    ):
+        install_shard_fault_plan(
+            ShardFaultPlan(deterministic_failures={1: "injected shard failure"})
+        )
+        simulation = _make_simulation(
+            small_split, small_targets, workers=2, degradation="quorum"
+        )
+        try:
+            with pytest.raises(RuntimeError, match="no partial merge was performed"):
+                simulation.run()
+        finally:
+            simulation.close()
+
+
+class TestTransientRecovery:
+    @pytest.mark.parametrize("engine", ("loop", "vectorized"))
+    def test_retried_round_is_bit_identical_to_clean_run(
+        self, small_split, small_targets, engine
+    ):
+        clean = _make_simulation(
+            small_split, small_targets, workers=2, engine=engine, shard_retries=2
+        )
+        clean_result = _run(clean)
+        assert clean_result.incidents == []
+
+        # Shard 1's first attempt fails transiently every round; with a retry
+        # budget the run must recover and reproduce the clean history bit for
+        # bit (the retry recomputes the identical shard).
+        install_shard_fault_plan(ShardFaultPlan(transient_failures={1: 1}))
+        faulted = _make_simulation(
+            small_split, small_targets, workers=2, engine=engine, shard_retries=2
+        )
+        faulted_result = _run(faulted)
+
+        np.testing.assert_array_equal(
+            np.asarray(clean_result.history.training_loss()),
+            np.asarray(faulted_result.history.training_loss()),
+        )
+        np.testing.assert_array_equal(
+            clean_result.item_factors, faulted_result.item_factors
+        )
+        assert faulted_result.incidents
+        assert all(
+            incident.kind == "shard-retry" for incident in faulted_result.incidents
+        )
+
+    @pytest.mark.parametrize("degradation", ("strict", "quorum"))
+    def test_recovered_retries_behave_identically_in_both_modes(
+        self, small_split, small_targets, degradation
+    ):
+        # A retry that eventually succeeds never degrades the round, so the
+        # degradation mode must not matter: both runs log only retries and
+        # every round reaches the server.
+        install_shard_fault_plan(ShardFaultPlan(transient_failures={1: 1}, rounds=(1,)))
+        simulation = _make_simulation(
+            small_split,
+            small_targets,
+            workers=2,
+            shard_retries=2,
+            shard_backoff=0.01,
+            degradation=degradation,
+        )
+        result = _run(simulation)
+        assert result.incidents
+        assert all(incident.kind == "shard-retry" for incident in result.incidents)
+
+    def test_exhausted_retries_abort_in_strict_mode(self, small_split, small_targets):
+        install_shard_fault_plan(ShardFaultPlan(transient_failures={1: 99}))
+        simulation = _make_simulation(
+            small_split, small_targets, workers=2, shard_retries=1, shard_backoff=0.01
+        )
+        try:
+            with pytest.raises(
+                RuntimeError,
+                match=r"shard 1 failed: .*retries exhausted after 2 attempt\(s\); "
+                r"no partial merge was performed",
+            ):
+                simulation.run()
+            assert simulation.server.rounds_applied == 0
+        finally:
+            simulation.close()
+
+    def test_zero_retries_treat_transient_failures_as_fatal(
+        self, small_split, small_targets
+    ):
+        install_shard_fault_plan(ShardFaultPlan(transient_failures={1: 99}))
         simulation = _make_simulation(small_split, small_targets, workers=2)
         try:
             with pytest.raises(RuntimeError, match="no partial merge was performed"):
@@ -87,15 +213,8 @@ class TestWorkerCrash:
 
 
 class TestWorkerHang:
-    def test_hung_shard_times_out_with_shard_id(self, small_split, small_targets, monkeypatch):
-        original = sharding._execute_shard
-
-        def hang_shard_one(task):
-            if task.shard_index == 1:
-                time.sleep(60.0)
-            return original(task)
-
-        monkeypatch.setattr(sharding, "_execute_shard", hang_shard_one)
+    def test_hung_shard_times_out_with_shard_id(self, small_split, small_targets):
+        install_shard_fault_plan(ShardFaultPlan(hangs={1: 60.0}))
         simulation = _make_simulation(
             small_split, small_targets, workers=2, worker_timeout=1.5
         )
@@ -115,7 +234,7 @@ class TestWorkerHang:
 class TestMergeDeterminism:
     @pytest.mark.parametrize("engine", ("loop", "vectorized"))
     def test_reversed_completion_order_merges_in_shard_order(
-        self, small_split, small_targets, monkeypatch, engine
+        self, small_split, small_targets, engine
     ):
         # Delay shards so that shard 0 reliably finishes *last* every round;
         # if results were merged in completion order the histories would
@@ -123,30 +242,63 @@ class TestMergeDeterminism:
         baseline = _make_simulation(
             small_split, small_targets, workers=1, engine=engine, clients_per_round=16
         )
-        try:
-            base_result = baseline.run()
-        finally:
-            baseline.close()
+        base_result = _run(baseline)
 
-        original = sharding._execute_shard
-
-        def delayed_inverse(task):
-            time.sleep(0.3 * (2 - task.shard_index))
-            return original(task)
-
-        monkeypatch.setattr(sharding, "_execute_shard", delayed_inverse)
+        install_shard_fault_plan(ShardFaultPlan(hangs={0: 0.6, 1: 0.3, 2: 0.0}))
         simulation = _make_simulation(
             small_split, small_targets, workers=3, engine=engine, clients_per_round=16
         )
-        try:
-            sharded_result = simulation.run()
-        finally:
-            simulation.close()
+        sharded_result = _run(simulation)
         np.testing.assert_array_equal(
             np.asarray(base_result.history.training_loss()),
             np.asarray(sharded_result.history.training_loss()),
         )
         np.testing.assert_array_equal(base_result.item_factors, sharded_result.item_factors)
+
+
+class TestQuorumDegradation:
+    @pytest.mark.parametrize("engine", ("loop", "vectorized"))
+    def test_failed_shard_is_dropped_and_training_continues(
+        self, small_split, small_targets, engine
+    ):
+        # Shard 1 fails every attempt; under degradation="quorum" the round
+        # merges the surviving shard(s) instead of aborting, and the
+        # degradation is recorded as structured incidents.
+        install_shard_fault_plan(ShardFaultPlan(transient_failures={1: 99}))
+        simulation = _make_simulation(
+            small_split,
+            small_targets,
+            workers=2,
+            engine=engine,
+            shard_retries=1,
+            shard_backoff=0.01,
+            degradation="quorum",
+            min_reporters=1,
+        )
+        result = _run(simulation)
+        kinds = {incident.kind for incident in result.incidents}
+        assert "shard-retry" in kinds
+        assert "shard-failed" in kinds
+        # Every round still reached the server (degraded, never silently).
+        assert result.history.training_loss()
+
+    def test_quorum_violation_after_shard_loss_aborts(self, small_split, small_targets):
+        # Losing one of two shards halves the reporter count; a quorum of the
+        # full batch therefore cannot hold and the round must abort loudly.
+        install_shard_fault_plan(ShardFaultPlan(transient_failures={1: 99}))
+        simulation = _make_simulation(
+            small_split,
+            small_targets,
+            workers=2,
+            shard_backoff=0.01,
+            degradation="quorum",
+            min_reporters=32,
+        )
+        try:
+            with pytest.raises(FederationError, match="fell below the quorum"):
+                simulation.run()
+        finally:
+            simulation.close()
 
 
 class TestConfigurationGuards:
@@ -157,6 +309,18 @@ class TestConfigurationGuards:
     def test_negative_timeout_rejected(self):
         with pytest.raises(ConfigurationError, match="worker_timeout must be positive"):
             FederatedConfig(workers=2, worker_timeout=-1.0).validate()
+
+    def test_negative_retries_rejected(self):
+        with pytest.raises(ConfigurationError, match="shard_retries must be at least 0"):
+            FederatedConfig(shard_retries=-1).validate()
+
+    def test_non_positive_backoff_rejected(self):
+        with pytest.raises(ConfigurationError, match="shard_backoff must be positive"):
+            FederatedConfig(shard_backoff=0.0).validate()
+
+    def test_unknown_degradation_rejected(self):
+        with pytest.raises(ConfigurationError, match="degradation must be"):
+            FederatedConfig(degradation="best-effort").validate()
 
     def test_vectorized_scorer_sharding_rejected(self):
         with pytest.raises(ConfigurationError, match="no sharded implementation"):
