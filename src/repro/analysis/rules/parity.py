@@ -66,6 +66,7 @@ EQUIVALENCE_SUITES: dict[str, tuple[str, ...]] = {
     ),
     "eval_engine": ("tests/test_eval_engine_equivalence.py",),
     "eval_sampler": ("tests/test_eval_engine_equivalence.py",),
+    "eval_path": ("tests/test_eval_path_equivalence.py",),
     "workers": ("tests/test_sharded_engine_equivalence.py",),
     "straggler_policy": ("tests/test_federation_dynamics.py",),
     "degradation": ("tests/test_sharded_engine_faults.py",),

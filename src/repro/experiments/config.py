@@ -59,6 +59,7 @@ class ExperimentConfig:
     sampler: str = "permutation"
     eval_engine: str = "vectorized"
     eval_sampler: str = "per-user"
+    eval_path: str = "block"
     fuse_rounds: int = 1
     workers: int = 1
     worker_timeout: float | None = None

@@ -95,6 +95,21 @@ class FederatedConfig:
         works with either stream — for a fixed stream the engines report
         identical metrics per seed.  Irrelevant under the full-ranking
         protocol.
+    eval_path:
+        Which arithmetic route the sampled ranking protocol scores its
+        candidates through.  ``"block"`` (default) computes the full
+        ``(B, num_items)`` score-block product and gathers candidate
+        columns from it; ``"candidates"`` gathers the candidate item
+        vectors first and scores only them (``B * (1 + num_negatives)``
+        dot products instead of ``B * num_items`` — no catalog GEMM),
+        dispatching through
+        :class:`~repro.models.base.CandidateScorerProtocol` when the
+        source implements it, else through an exact column-slicing
+        fallback.  The negative draws, their stream order and the rank
+        comparisons are shared, so both paths report the same metrics per
+        seed (bit-identical on the fallback, numerically equal within the
+        GEMM-vs-gather reassociation elsewhere); the golden suite pins
+        both.  Irrelevant under the full-ranking protocol.
     fuse_rounds:
         Cross-round fusion window of the vectorized MF engine.  ``1``
         (default) computes each round exactly against the freshest item
@@ -197,6 +212,7 @@ class FederatedConfig:
     sampler: str = "permutation"
     eval_engine: str = "vectorized"
     eval_sampler: str = "per-user"
+    eval_path: str = "block"
     fuse_rounds: int = 1
     workers: int = 1
     worker_timeout: float | None = None

@@ -51,6 +51,7 @@ from repro.federated.updates import ClientUpdate, merge_sparse_rounds
 from repro.metrics.accuracy import AccuracyReport
 from repro.metrics.evaluation import evaluate_snapshot
 from repro.metrics.exposure import ExposureReport
+from repro.metrics.topk_cache import TopKCache
 from repro.rng import SeedSequenceFactory
 
 if TYPE_CHECKING:  # pragma: no cover - import for type checkers only
@@ -240,6 +241,9 @@ class FederatedSimulation:
         #: straggling clients, merged at the end of the round they arrive in.
         self._pending_arrivals: dict[int, list[ClientUpdate]] = {}
         self._history: TrainingHistory | None = None
+        # Incremental full-rank evaluator, built lazily on the first
+        # evaluation it applies to (vectorized engine, num_negatives=None).
+        self._topk_cache: TopKCache | None = None
         self._current_epoch = 0
         self._trainer = BatchedRoundTrainer(
             self.benign_clients,
@@ -363,6 +367,11 @@ class FederatedSimulation:
         history = TrainingHistory()
         self._history = history
         self._pending_arrivals = {}
+        # A fresh history starts with no dirty bookkeeping, so any cached
+        # evaluation state from a previous run() must go: the first
+        # evaluation of every run is a full pass.
+        if self._topk_cache is not None:
+            self._topk_cache.invalidate()
 
         for epoch in range(1, epochs + 1):
             self._current_epoch = epoch
@@ -441,7 +450,9 @@ class FederatedSimulation:
             benign_ids_per_round, self.server.item_factors
         )
         total_loss = 0.0
-        for batch, (round_updates, round_loss) in zip(batches, trained):
+        for benign_ids, batch, (round_updates, round_loss) in zip(
+            benign_ids_per_round, batches, trained
+        ):
             round_index = self.server.rounds_applied
             selected_malicious = [
                 int(cid) for cid in batch if int(cid) in self.malicious_clients
@@ -468,6 +479,9 @@ class FederatedSimulation:
             if self.update_observer is not None:
                 self.update_observer(round_index, round_updates.to_client_updates())
             self.server.apply_round(round_updates)
+            self._record_applied_round(
+                benign_ids, round_updates.client_ids.shape[0] > 0
+            )
             total_loss += round_loss
         return total_loss
 
@@ -549,10 +563,12 @@ class FederatedSimulation:
             if self.update_observer is not None:
                 self.update_observer(round_index, updates)
             self.server.apply_round(updates)
+            self._record_applied_round(benign_ids, len(updates) > 0)
             return round_loss
         if self.update_observer is not None:
             self.update_observer(round_index, round_updates.to_client_updates())
         self.server.apply_round(round_updates)
+        self._record_applied_round(benign_ids, round_updates.client_ids.shape[0] > 0)
         return round_loss
 
     def _run_round_loop(
@@ -632,6 +648,10 @@ class FederatedSimulation:
         if self.update_observer is not None:
             self.update_observer(round_index, updates)
         self.server.apply_round(updates)
+        self._record_applied_round(
+            [int(cid) for cid in batch if int(cid) in self.benign_clients],
+            len(updates) > 0,
+        )
         return round_loss
 
     def _loop_shard_results(
@@ -680,6 +700,22 @@ class FederatedSimulation:
             int(cid): (updates[index], grad_users[index])
             for index, cid in enumerate(merged.client_ids)
         }
+
+    def _record_applied_round(
+        self, benign_ids: list[int], item_factors_changed: bool
+    ) -> None:
+        """Mark one applied round's dirty state on the active history.
+
+        ``benign_ids`` are the round's benign participants — every one of
+        them trained its local ``U``-row before the server step, so their
+        rows are dirty even when dispositions later discarded their uploads.
+        ``item_factors_changed`` is whether the server applied any update
+        (an empty round increments the counter but leaves ``V``/``Theta``
+        untouched).  This feeds the incremental full-rank evaluator's
+        invalidation — see :class:`~repro.metrics.topk_cache.TopKCache`.
+        """
+        if self._history is not None:
+            self._history.record_applied_round(benign_ids, item_factors_changed)
 
     # ------------------------------------------------------------------ #
     # Federation dynamics
@@ -906,10 +942,40 @@ class FederatedSimulation:
         stream selected by ``config.eval_sampler`` (``"per-user"`` preserves
         historical seed histories; ``"batched"`` is a faster, different
         realization), so switching the *engine* changes the wall clock, not
-        the history — only the sampler changes realizations.
+        the history — only the sampler changes realizations.  Likewise the
+        ``config.eval_path`` switch only reroutes the sampled protocol's
+        arithmetic (candidate gather vs full block product) — the draws and
+        comparisons are shared, so the realization is path-invariant.
+
+        Full-catalog evaluations (``eval_num_negatives=None``) under the
+        vectorized engine run through the incremental
+        :class:`~repro.metrics.topk_cache.TopKCache`, which drains the
+        history's dirty ledger and rescores only the user blocks whose rows
+        changed since the previous evaluation — bit-identical to a cold
+        :func:`~repro.metrics.evaluation.evaluate_snapshot` by construction
+        (the sampled protocol consumes RNG per evaluation and therefore
+        cannot be cached).
         """
         if self.test_items is None and self.target_items is None:
             return None, None
+        if self.eval_num_negatives is None and self.config.eval_engine == "vectorized":
+            if self._topk_cache is None:
+                self._topk_cache = TopKCache(
+                    self.train,
+                    test_items=self.test_items,
+                    target_items=self.target_items,
+                    k=10,
+                )
+            if self._history is not None:
+                dirty_users, item_factors_changed = self._history.consume_dirty()
+            else:
+                dirty_users, item_factors_changed = None, True
+            result = self._topk_cache.evaluate(
+                self.score_block_function(),
+                dirty_users=dirty_users,
+                item_factors_changed=item_factors_changed,
+            )
+            return result.accuracy, result.exposure
         result = evaluate_snapshot(
             self.score_block_function(),
             self.train,
@@ -920,5 +986,6 @@ class FederatedSimulation:
             rng=self._eval_rng,
             engine=self.config.eval_engine,
             eval_sampler=self.config.eval_sampler,
+            eval_path=self.config.eval_path,
         )
         return result.accuracy, result.exposure

@@ -164,6 +164,17 @@ SWITCH_REGISTRY: tuple[SwitchSpec, ...] = (
         ),
     ),
     SwitchSpec(
+        name="eval_path",
+        kind="choice",
+        default="block",
+        choices=("block", "candidates"),
+        help=(
+            "sampled-protocol scoring route: 'block' (default, full "
+            "score-block product) or 'candidates' (gathered candidate "
+            "scoring, no catalog GEMM; same draws, same realization)"
+        ),
+    ),
+    SwitchSpec(
         name="fuse_rounds",
         kind="int",
         default=1,

@@ -18,12 +18,15 @@ from repro.metrics.accuracy import (
 from repro.metrics.evaluation import (
     DEFAULT_BLOCK_SIZE,
     EVAL_ENGINES,
+    EVAL_PATHS,
     EVAL_SAMPLERS,
     EvaluationResult,
     evaluate_snapshot,
     resolve_score_block,
+    resolve_score_candidates,
     user_blocks,
 )
+from repro.metrics.topk_cache import TopKCache
 from repro.metrics.exposure import (
     ExposureReport,
     exposure_ratio_at_k,
@@ -37,10 +40,13 @@ __all__ = [
     "ExposureReport",
     "EvaluationResult",
     "EVAL_ENGINES",
+    "EVAL_PATHS",
     "EVAL_SAMPLERS",
     "DEFAULT_BLOCK_SIZE",
+    "TopKCache",
     "evaluate_snapshot",
     "resolve_score_block",
+    "resolve_score_candidates",
     "user_blocks",
     "exposure_ratio_at_k",
     "target_ndcg_at_k",

@@ -53,6 +53,7 @@ _BASE = dict(
     sampler="permutation",
     eval_engine="vectorized",
     eval_sampler="per-user",
+    eval_path="block",
     workers=1,
 )
 
@@ -77,6 +78,19 @@ for _mode, _mode_kwargs in (("benign", _BENIGN), ("attack", _ATTACK)):
         **_mode_kwargs,
         "engine": "vectorized",
         "eval_sampler": "batched",
+    }
+# The candidate-gather scoring route shares the block path's draws and rank
+# comparisons, so these histories pin the realization of the arithmetic
+# reroute itself (einsum/gathered-forward floats instead of the catalog
+# GEMM) — one benign and one attacked case, under the batched stream so the
+# gather also covers the stacked-draw segment layout.
+for _mode, _mode_kwargs in (("benign", _BENIGN), ("attack", _ATTACK)):
+    GOLDEN_CASES[f"mf-{_mode}-eval-candidates"] = {
+        **_BASE,
+        **_mode_kwargs,
+        "engine": "vectorized",
+        "eval_sampler": "batched",
+        "eval_path": "candidates",
     }
 # The remaining switch realizations each pin one history: the batched
 # negative sampler (one stacked round-level draw instead of per-client
